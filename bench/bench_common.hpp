@@ -1,0 +1,85 @@
+// bench_common.hpp — shared programs and input builders for the
+// reproduction benches. Every bench reports, besides wall time, the
+// machine-independent cost counters the Proteus methodology is about:
+//   work   — vector-model element work (vl element touches)
+//   prims  — vector primitives issued (the "step" count)
+//   iters  — reference-interpreter iterator body evaluations
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+
+#include "core/proteus.hpp"
+
+namespace proteus::bench {
+
+inline interp::Value random_int_seq(std::uint64_t seed, int n, vl::Int lo,
+                                    vl::Int hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vl::Int> dist(lo, hi);
+  interp::ValueList elems;
+  elems.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    elems.push_back(interp::Value::ints(dist(rng)));
+  }
+  return interp::Value::seq(std::move(elems));
+}
+
+/// Ragged collection with the given per-row lengths.
+inline interp::Value ragged(std::uint64_t seed,
+                            const std::vector<int>& row_lengths) {
+  interp::ValueList rows;
+  rows.reserve(row_lengths.size());
+  for (std::size_t r = 0; r < row_lengths.size(); ++r) {
+    rows.push_back(random_int_seq(seed + r, row_lengths[r], -1000, 1000));
+  }
+  return interp::Value::seq(std::move(rows));
+}
+
+/// Row-length profiles for the irregularity benches.
+inline std::vector<int> uniform_rows(int rows, int len) {
+  return std::vector<int>(static_cast<std::size_t>(rows), len);
+}
+
+inline std::vector<int> skewed_rows(std::uint64_t seed, int rows, int total) {
+  // Power-law-ish skew: a few rows get most of the elements.
+  std::mt19937_64 rng(seed);
+  std::vector<int> lens(static_cast<std::size_t>(rows), 1);
+  int remaining = total - rows;
+  while (remaining > 0) {
+    std::size_t r = rng() % lens.size();
+    int grab = std::min<int>(remaining, 1 + static_cast<int>(rng() % 64));
+    // concentrate on the first few rows half the time
+    if (rng() % 2 == 0) r %= std::max<std::size_t>(1, lens.size() / 16);
+    lens[r] += grab;
+    remaining -= grab;
+  }
+  return lens;
+}
+
+inline std::vector<int> one_giant_rows(int rows, int total) {
+  std::vector<int> lens(static_cast<std::size_t>(rows), 1);
+  lens[0] = total - (rows - 1);
+  return lens;
+}
+
+/// Attaches the cost counters of the session's last run.
+inline void report_cost(::benchmark::State& state, const Session& session) {
+  const RunCost& c = session.last_cost();
+  state.counters["work"] =
+      static_cast<double>(c.vector_work.element_work);
+  state.counters["prims"] =
+      static_cast<double>(c.vector_work.primitive_calls);
+}
+
+inline void report_interp_cost(::benchmark::State& state,
+                               const Session& session) {
+  state.counters["iters"] =
+      static_cast<double>(session.last_cost().reference.iterations);
+  state.counters["scalar_ops"] =
+      static_cast<double>(session.last_cost().reference.scalar_ops);
+}
+
+}  // namespace proteus::bench

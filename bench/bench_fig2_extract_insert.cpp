@@ -1,0 +1,67 @@
+// bench_fig2_extract_insert — Figure 2 / Section 4.5: "it is critically
+// important that the insert and extract operations have minimal overhead.
+// The ... representation ... was chosen specifically because those
+// operations can be implemented inexpensively."
+//
+// Expected shape: extract/insert cost depends on the *descriptor spine*
+// only — constant in leaf count, linear in depth — while a naive data
+// restructure (rebuilding through a gather) is linear in the data.
+#include <benchmark/benchmark.h>
+
+#include "seq/seq.hpp"
+#include "vl/vl.hpp"
+
+namespace {
+
+using namespace proteus;
+using seq::Array;
+
+Array deep(std::int64_t leaves_scale, int depth) {
+  return seq::random_nested_ints(21, depth, leaves_scale, 4);
+}
+
+void BM_extract_vs_leafcount(benchmark::State& state) {
+  Array a = deep(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::extract(a, 3));
+  }
+  state.counters["leaves"] = static_cast<double>(a.leaf_count());
+}
+
+void BM_insert_vs_leafcount(benchmark::State& state) {
+  Array a = deep(state.range(0), 4);
+  Array flat = seq::extract(a, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::insert(flat, a, 3));
+  }
+  state.counters["leaves"] = static_cast<double>(a.leaf_count());
+}
+
+void BM_extract_insert_roundtrip_vs_depth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Array a = deep(64, depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::insert(seq::extract(a, depth), a, depth));
+  }
+}
+
+void BM_naive_restructure_for_comparison(benchmark::State& state) {
+  // What extract would cost if it copied: materialize the flattened data
+  // through an explicit gather.
+  Array a = deep(state.range(0), 4);
+  Array flat = seq::extract(a, 3);
+  vl::IntVec idx = vl::iota(flat.length(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::gather(flat, idx));
+  }
+  state.counters["leaves"] = static_cast<double>(a.leaf_count());
+}
+
+BENCHMARK(BM_extract_vs_leafcount)->Range(1 << 4, 1 << 14);
+BENCHMARK(BM_insert_vs_leafcount)->Range(1 << 4, 1 << 14);
+BENCHMARK(BM_extract_insert_roundtrip_vs_depth)->DenseRange(1, 8);
+BENCHMARK(BM_naive_restructure_for_comparison)->Range(1 << 4, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// bench_sec1_prototyping — Section 1: "The parallel semantics of such a
+// program can be simulated sequentially, to observe its behavior and make
+// measurements of machine-independent characteristics such as total work
+// and available concurrency."
+//
+// For each prototype the reference interpreter reports total work
+// (scalar_ops) and the parallel critical path (steps); work/steps is the
+// available concurrency. Expected shape: data-parallel prototypes have
+// concurrency that grows linearly (squares), superlinearly (triangular
+// sqs), or as n/log n (divide and conquer) — visible long before any
+// parallel machine is involved, which is the methodology's point.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace proteus;
+using namespace proteus::bench;
+
+void measure(benchmark::State& state, const char* program, const char* fn,
+             interp::ValueList args) {
+  Session session(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run_reference(fn, args));
+  }
+  const auto& c = session.last_cost().reference;
+  state.counters["work"] = static_cast<double>(c.scalar_ops);
+  state.counters["steps"] = static_cast<double>(c.steps);
+  state.counters["concurrency"] =
+      c.steps == 0 ? 0.0
+                   : static_cast<double>(c.scalar_ops) /
+                         static_cast<double>(c.steps);
+}
+
+void BM_concurrency_squares(benchmark::State& state) {
+  measure(state, "fun f(v: seq(int)): seq(int) = [x <- v : x * x + 1]", "f",
+          {random_int_seq(1, static_cast<int>(state.range(0)), -9, 9)});
+}
+
+void BM_concurrency_triangular(benchmark::State& state) {
+  measure(state,
+          "fun f(n: int): seq(seq(int)) = "
+          "[i <- [1 .. n] : [j <- [1 .. i] : i * j]]",
+          "f", {interp::Value::ints(state.range(0))});
+}
+
+void BM_concurrency_quicksort(benchmark::State& state) {
+  const char* qs = R"(
+    fun qs(v: seq(int)): seq(int) =
+      if #v <= 1 then v
+      else
+        let pivot = v[1 + (#v / 2)] in
+        let parts = [p <- [[x <- v | x < pivot : x],
+                           [x <- v | x > pivot : x]] : qs(p)] in
+        parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+  )";
+  measure(state, qs, "qs",
+          {random_int_seq(3, static_cast<int>(state.range(0)), 0, 1 << 20)});
+}
+
+void BM_concurrency_sequential_fold(benchmark::State& state) {
+  // Contrast: here the additions chain sequentially, so steps grow
+  // linearly with n (unlike every data-parallel prototype above, whose
+  // critical path is constant or logarithmic) — the prototype itself
+  // reveals the serial bottleneck before any parallel machine is involved.
+  const char* fold = R"(
+    fun f(v: seq(int)): int =
+      if #v == 0 then 0 else v[1] + f([i <- [1 .. #v - 1] : v[i + 1]])
+  )";
+  measure(state, fold, "f",
+          {random_int_seq(5, static_cast<int>(state.range(0)), -9, 9)});
+}
+
+BENCHMARK(BM_concurrency_squares)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_concurrency_triangular)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_concurrency_quicksort)->RangeMultiplier(4)->Range(64, 1024);
+BENCHMARK(BM_concurrency_sequential_fold)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// bench_vl_primitives — per-primitive throughput of the flat vector
+// library (the CVL substrate), including the segmented variants that carry
+// the flattening translation. Corresponds to the primitive-level tables of
+// the CVL report [BCS+90] the paper targets.
+//
+// Expected shape: elementwise/scan/reduce throughput is flat in n
+// (bandwidth bound); segmented variants track their unsegmented
+// counterparts (the whole point of the segmented representation).
+#include <benchmark/benchmark.h>
+
+#include "seq/build.hpp"
+#include "vl/vl.hpp"
+
+namespace {
+
+using namespace proteus;
+using vl::Int;
+using vl::IntVec;
+using vl::Size;
+
+IntVec data(Size n) { return seq::random_ints(7, n, -1000, 1000); }
+
+/// Segment lengths averaging 8 covering n elements.
+IntVec segments(Size n) {
+  IntVec lens;
+  Size covered = 0;
+  std::uint64_t x = 12345;
+  while (covered < n) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    Int len = static_cast<Int>(x >> 60);  // 0..15
+    if (covered + len > n) len = n - covered;
+    lens.push_back(len);
+    covered += len;
+  }
+  return lens;
+}
+
+void BM_elementwise_add(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  IntVec b = data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_elementwise_select(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  IntVec b = data(state.range(0));
+  vl::BoolVec m = seq::random_mask(3, state.range(0), 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::select(m, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_scan_add(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::scan_add(a));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_seg_scan_add(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  IntVec lens = segments(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::seg_scan_add(a, lens));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_reduce_add(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::reduce_add(a));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_seg_reduce_add(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  IntVec lens = segments(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::seg_reduce_add(a, lens));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_gather(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  IntVec idx = seq::random_ints(9, state.range(0), 0, state.range(0) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::gather(a, idx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_pack(benchmark::State& state) {
+  IntVec a = data(state.range(0));
+  vl::BoolVec m = seq::random_mask(5, state.range(0), 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::pack(a, m));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_combine(benchmark::State& state) {
+  vl::BoolVec m = seq::random_mask(5, state.range(0), 1, 2);
+  Size trues = vl::count(m);
+  IntVec t = data(trues);
+  IntVec f = data(state.range(0) - trues);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::combine(m, t, f));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_seg_iota1(benchmark::State& state) {
+  IntVec lens = segments(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::seg_iota1(lens));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_seg_dist(benchmark::State& state) {
+  IntVec lens = segments(state.range(0));
+  IntVec vals = data(lens.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vl::seg_dist(vals, lens));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+constexpr int kLo = 1 << 10;
+constexpr int kHi = 1 << 21;
+
+BENCHMARK(BM_elementwise_add)->Range(kLo, kHi);
+BENCHMARK(BM_elementwise_select)->Range(kLo, kHi);
+BENCHMARK(BM_scan_add)->Range(kLo, kHi);
+BENCHMARK(BM_seg_scan_add)->Range(kLo, kHi);
+BENCHMARK(BM_reduce_add)->Range(kLo, kHi);
+BENCHMARK(BM_seg_reduce_add)->Range(kLo, kHi);
+BENCHMARK(BM_gather)->Range(kLo, kHi);
+BENCHMARK(BM_pack)->Range(kLo, kHi);
+BENCHMARK(BM_combine)->Range(kLo, kHi);
+BENCHMARK(BM_seg_iota1)->Range(kLo, kHi);
+BENCHMARK(BM_seg_dist)->Range(kLo, kHi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

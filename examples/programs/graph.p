@@ -1,0 +1,25 @@
+// Reachability on an adjacency-list graph by parallel frontier expansion:
+// flatten the neighbor lists of the whole frontier at once, mark the
+// newly visited vertices, recurse until the frontier is empty.
+fun member(x: int, v: seq(int)): bool = any([y <- v : y == x])
+
+fun expand(adj: seq(seq(int)), frontier: seq(int)): seq(int) =
+  flatten([v <- frontier : adj[v]])
+
+fun reach_from(adj: seq(seq(int)), visited: seq(bool),
+               frontier: seq(int)): seq(bool) =
+  if #frontier == 0 then visited
+  else
+    let nbrs = expand(adj, frontier) in
+    let fresh = [i <- [1 .. #visited]
+                 | not visited[i] and member(i, nbrs) : i] in
+    let visited2 = [i <- [1 .. #visited]
+                    : visited[i] or member(i, fresh)] in
+    reach_from(adj, visited2, fresh)
+
+fun reachable(adj: seq(seq(int)), start: int): seq(bool) =
+  let init = [i <- [1 .. #adj] : i == start] in
+  reach_from(adj, init, [start])
+
+fun count_reachable(adj: seq(seq(int)), start: int): int =
+  sum([b <- reachable(adj, start) : if b then 1 else 0])

@@ -1,0 +1,21 @@
+// Mandelbrot escape-time — every pixel iterates a DIFFERENT number of
+// times; the flattened program masks off escaped pixels each round (rule
+// R2d), which is precisely how SIMD machines rendered fractals.
+fun escape(cx: real, cy: real, x: real, y: real, k: int, limit: int): int =
+  if k >= limit then limit
+  else if x * x + y * y > 4.0 then k
+  else escape(cx, cy, x * x - y * y + cx, 2.0 * x * y + cy, k + 1, limit)
+
+fun row(cy: real, w: int, limit: int): seq(int) =
+  [i <- [1 .. w] :
+     let cx = -2.0 + 3.0 * real(i - 1) / real(w) in
+     escape(cx, cy, 0.0, 0.0, 0, limit)]
+
+fun image(w: int, h: int, limit: int): seq(seq(int)) =
+  [j <- [1 .. h] :
+     let cy = -1.2 + 2.4 * real(j - 1) / real(h) in
+     row(cy, w, limit)]
+
+// total escape mass — a single checkable number for tests
+fun mass(w: int, h: int, limit: int): int =
+  sum([r <- image(w, h, limit) : sum(r)])

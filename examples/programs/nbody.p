@@ -1,0 +1,25 @@
+// All-pairs gravity step (see examples/nbody.cpp for the driver).
+// a body is ((x, y), (vx, vy), mass)
+fun accel_on(i: int, bodies: seq(((real,real),(real,real),real)))
+    : (real, real) =
+  let pi = bodies[i].1 in
+  let axs = [j <- [1 .. #bodies] | j != i :
+               let b = bodies[j] in
+               let dx = b.1.1 - pi.1 in
+               let dy = b.1.2 - pi.2 in
+               let d2 = dx * dx + dy * dy + 0.01 in
+               let inv = b.3 / (d2 * sqrt(d2)) in
+               (dx * inv, dy * inv)] in
+  (sum([a <- axs : a.1]), sum([a <- axs : a.2]))
+
+fun step(bodies: seq(((real,real),(real,real),real)), dt: real)
+    : seq(((real,real),(real,real),real)) =
+  [i <- [1 .. #bodies] :
+     let b = bodies[i] in
+     let a = accel_on(i, bodies) in
+     let vx = b.2.1 + a.1 * dt in
+     let vy = b.2.2 + a.2 * dt in
+     ((b.1.1 + vx * dt, b.1.2 + vy * dt), (vx, vy), b.3)]
+
+fun kinetic(bodies: seq(((real,real),(real,real),real))): real =
+  sum([b <- bodies : 0.5 * b.3 * (b.2.1 * b.2.1 + b.2.2 * b.2.2)])

@@ -1,0 +1,4 @@
+// Filtered nested parallelism: trial-division primes.
+fun divisors(n: int): seq(int) = [d <- [1 .. n] | n mod d == 0 : d]
+fun is_prime(n: int): bool = n >= 2 and #divisors(n) == 2
+fun primes_upto(n: int): seq(int) = [k <- [2 .. n] | is_prime(k) : k]

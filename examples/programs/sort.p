@@ -1,0 +1,12 @@
+// Parallel divide-and-conquer quicksort (the paper's Section 1 motivation).
+fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]
+
+fun quicksort(v: seq(int)): seq(int) =
+  if #v <= 1 then v
+  else
+    let pivot = v[1 + (#v / 2)] in
+    let parts = [p <- [[x <- v | x < pivot : x],
+                       [x <- v | x > pivot : x]] : quicksort(p)] in
+    parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+
+fun sortall(m: seq(seq(int))): seq(seq(int)) = [row <- m : quicksort(row)]

@@ -1,0 +1,5 @@
+// Per-row statistics over a ragged collection.
+fun mean(v: seq(real)): real = sum(v) / real(#v)
+fun centered(v: seq(real)): seq(real) = let m = mean(v) in [x <- v : x - m]
+fun variance(v: seq(real)): real = sum([x <- centered(v) : x * x]) / real(#v)
+fun rowvars(m: seq(seq(real))): seq(real) = [row <- m : variance(row)]

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Reproduce every result: build, run the full test suite, regenerate every
+# figure/claim bench (see EXPERIMENTS.md for the expected shapes).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

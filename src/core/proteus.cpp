@@ -1,0 +1,88 @@
+#include "core/proteus.hpp"
+
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "vl/check.hpp"
+
+namespace proteus {
+
+using interp::Value;
+using interp::ValueList;
+using lang::FunDef;
+using lang::TypePtr;
+
+Session::Session(std::string_view program_source,
+                 std::string_view entry_source,
+                 const xform::PipelineOptions& options)
+    : compiled_(xform::compile(program_source, entry_source, options)) {
+  prim_options_.shared_source_gather =
+      options.flatten.broadcast_invariant_seq_args;
+}
+
+const FunDef& Session::checked_fun(const std::string& name) const {
+  const FunDef* f = compiled_.checked.find(name);
+  PROTEUS_REQUIRE(EvalError, f != nullptr,
+                  "session has no function named '" + name + "'");
+  return *f;
+}
+
+TypePtr Session::result_type(const std::string& name) const {
+  return checked_fun(name).result;
+}
+
+Value Session::run_reference(const std::string& name,
+                             const ValueList& args) {
+  interp::Interpreter interp(compiled_.checked);
+  Value result = interp.call_function(name, args);
+  cost_.reference = interp.stats();
+  return result;
+}
+
+Value Session::run_vector(const std::string& name, const ValueList& args) {
+  const FunDef& f = checked_fun(name);
+  PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
+                  "'" + name + "' called with wrong argument count");
+  std::vector<exec::VValue> vargs;
+  vargs.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+  }
+  exec::Executor ex(compiled_.vec, prim_options_);
+  vl::reset_stats();
+  exec::VValue result = ex.call_function(name, vargs);
+  cost_.vector_ops = ex.stats();
+  cost_.vector_work = vl::stats();
+  return exec::to_boxed(result, f.result);
+}
+
+Value Session::run_entry_reference() {
+  PROTEUS_REQUIRE(EvalError, compiled_.entry_checked != nullptr,
+                  "session was created without an entry expression");
+  interp::Interpreter interp(compiled_.checked);
+  Value result = interp.eval(compiled_.entry_checked);
+  cost_.reference = interp.stats();
+  return result;
+}
+
+Value Session::run_entry_vector() {
+  PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
+                  "session was created without an entry expression");
+  exec::Executor ex(compiled_.vec, prim_options_);
+  vl::reset_stats();
+  exec::VValue result = ex.eval(compiled_.entry_vec);
+  cost_.vector_ops = ex.stats();
+  cost_.vector_work = vl::stats();
+  return exec::to_boxed(result, compiled_.entry_checked->type);
+}
+
+Value parse_value(std::string_view literal) {
+  lang::ExprPtr expr = lang::parse_expression(literal);
+  lang::Program empty;
+  lang::ExprPtr typed = lang::typecheck_expression(empty, expr);
+  interp::Interpreter interp(empty);
+  return interp.eval(typed);
+}
+
+}  // namespace proteus

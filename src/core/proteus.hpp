@@ -1,0 +1,87 @@
+// proteus.hpp — the public API of proteus-vec.
+//
+// A Session compiles a program in the data-parallel language P through the
+// whole directed-transformation pipeline of the paper and can run any of
+// its functions (or the optional entry expression) on both engines:
+//
+//   * the reference interpreter (per-element iterator semantics — the
+//     paper's sequential simulation), and
+//   * the vector-model executor (flat representation + depth-1 vector
+//     primitives — the paper's CVL target).
+//
+// Both take and return boxed interp::Values so results are directly
+// comparable; cost counters for each engine are exposed for the
+// machine-independent measurements the Proteus methodology prescribes.
+//
+// Quickstart:
+//
+//   proteus::Session s(R"(
+//     fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]
+//   )");
+//   auto v = s.run_vector("sqs", {proteus::parse_value("5")});
+//   // v == [1,4,9,16,25]
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "exec/exec.hpp"
+#include "interp/interp.hpp"
+#include "vl/backend.hpp"
+#include "xform/pipeline.hpp"
+
+namespace proteus {
+
+/// Cost counters from the most recent run_* call on a Session.
+struct RunCost {
+  interp::InterpStats reference;  ///< populated by run_reference
+  exec::ExecStats vector_ops;     ///< populated by run_vector
+  vl::VectorStats vector_work;    ///< vl primitive calls / element work
+};
+
+class Session {
+ public:
+  /// Compiles `program_source` (and an optional entry expression in its
+  /// scope) through parse -> check -> R1 -> R2 -> T1.
+  explicit Session(std::string_view program_source,
+                   std::string_view entry_source = {},
+                   const xform::PipelineOptions& options = {});
+
+  /// Runs function `name` on the reference interpreter.
+  [[nodiscard]] interp::Value run_reference(const std::string& name,
+                                            const interp::ValueList& args);
+
+  /// Runs function `name` on the vector-model executor (arguments are
+  /// converted to the flat representation per the function's signature).
+  [[nodiscard]] interp::Value run_vector(const std::string& name,
+                                         const interp::ValueList& args);
+
+  /// Runs the entry expression on the reference interpreter.
+  [[nodiscard]] interp::Value run_entry_reference();
+
+  /// Runs the transformed entry expression on the vector-model executor.
+  [[nodiscard]] interp::Value run_entry_vector();
+
+  /// All intermediate forms (checked / canonical / flat / vector).
+  [[nodiscard]] const xform::Compiled& compiled() const { return compiled_; }
+
+  /// Cost counters gathered by the most recent run_* call.
+  [[nodiscard]] const RunCost& last_cost() const { return cost_; }
+
+  /// Static type of `name`'s result (after checking).
+  [[nodiscard]] lang::TypePtr result_type(const std::string& name) const;
+
+ private:
+  const lang::FunDef& checked_fun(const std::string& name) const;
+
+  xform::Compiled compiled_;
+  exec::PrimOptions prim_options_;
+  RunCost cost_;
+};
+
+/// Parses and evaluates a closed P literal/expression (e.g.
+/// "[[1,2],[3]]"), yielding a boxed value — convenient for building test
+/// and example inputs.
+[[nodiscard]] interp::Value parse_value(std::string_view literal);
+
+}  // namespace proteus

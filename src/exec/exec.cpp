@@ -1,0 +1,208 @@
+#include "exec/exec.hpp"
+
+#include <utility>
+
+#include "vl/check.hpp"
+
+namespace proteus::exec {
+
+using lang::Expr;
+using lang::ExprPtr;
+using lang::FunDef;
+using lang::Prim;
+
+namespace {
+
+class Env {
+ public:
+  void push(const std::string& name, VValue v) {
+    bindings_.emplace_back(name, std::move(v));
+  }
+  void pop() { bindings_.pop_back(); }
+  [[nodiscard]] const VValue* lookup(const std::string& name) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, VValue>> bindings_;
+};
+
+}  // namespace
+
+class VEval {
+ public:
+  explicit VEval(Executor& host) : host_(host) {}
+
+  VValue expr(const ExprPtr& e, Env& env) {
+    return std::visit(
+        [&](const auto& node) { return eval_node(node, e, env); }, e->node);
+  }
+
+  VValue call(const std::string& name, const std::vector<VValue>& args) {
+    auto it = host_.functions_.find(name);
+    if (it == host_.functions_.end()) {
+      throw EvalError("vector executor: unknown function '" + name +
+                      "' (was its parallel extension generated?)");
+    }
+    const FunDef* f = it->second;
+    PROTEUS_REQUIRE(EvalError, f->params.size() == args.size(),
+                    "'" + name + "' called with wrong argument count");
+    if (++host_.call_depth_ > kMaxCallDepth) {
+      --host_.call_depth_;
+      throw EvalError("call depth limit exceeded in '" + name + "'");
+    }
+    host_.stats_.calls += 1;
+    Env env;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      env.push(f->params[i].name, args[i]);
+    }
+    VValue result = expr(f->body, env);
+    --host_.call_depth_;
+    return result;
+  }
+
+ private:
+  VValue eval_node(const lang::IntLit& n, const ExprPtr&, Env&) {
+    return VValue::ints(n.value);
+  }
+  VValue eval_node(const lang::RealLit& n, const ExprPtr&, Env&) {
+    return VValue::reals(n.value);
+  }
+  VValue eval_node(const lang::BoolLit& n, const ExprPtr&, Env&) {
+    return VValue::bools(n.value);
+  }
+
+  VValue eval_node(const lang::VarRef& n, const ExprPtr&, Env& env) {
+    if (!n.is_function) {
+      const VValue* v = env.lookup(n.name);
+      if (v != nullptr) return *v;
+    }
+    if (host_.functions_.contains(n.name)) return VValue::fun(n.name);
+    throw EvalError("vector executor: unbound variable '" + n.name + "'");
+  }
+
+  VValue eval_node(const lang::Let& n, const ExprPtr&, Env& env) {
+    env.push(n.var, expr(n.init, env));
+    VValue result = expr(n.body, env);
+    env.pop();
+    return result;
+  }
+
+  VValue eval_node(const lang::If& n, const ExprPtr&, Env& env) {
+    return expr(n.cond, env).as_bool() ? expr(n.then_expr, env)
+                                       : expr(n.else_expr, env);
+  }
+
+  VValue eval_node(const lang::PrimCall& n, const ExprPtr& e, Env& env) {
+    std::vector<VValue> args = eval_args(n.args, env);
+    host_.stats_.prim_applications += 1;
+    host_.stats_.per_prim[n.op] += 1;
+    if (n.op == Prim::kEmptyFrame) {
+      return empty_frame_value(args[0], n.depth, e->type);
+    }
+    if (n.depth == 0) return apply_prim0(n.op, args);
+    PROTEUS_REQUIRE(EvalError, n.depth == 1,
+                    "vector executor given a depth >= 2 primitive call; run "
+                    "the T1 translation first");
+    return apply_prim1(n.op, args, n.lifted, host_.options_);
+  }
+
+  VValue eval_node(const lang::FunCall& n, const ExprPtr&, Env& env) {
+    PROTEUS_REQUIRE(EvalError, n.depth == 0,
+                    "vector executor given a depth-extended user call; run "
+                    "the T1 translation first");
+    return call(n.name, eval_args(n.args, env));
+  }
+
+  VValue eval_node(const lang::IndirectCall& n, const ExprPtr&, Env& env) {
+    VValue fn = expr(n.fn, env);
+    std::vector<VValue> args = eval_args(n.args, env);
+    PROTEUS_REQUIRE(EvalError, n.depth <= 1,
+                    "vector executor given a depth >= 2 indirect call");
+    const std::string target = n.depth == 0
+                                   ? fn.fun_name()
+                                   : lang::extension_name(fn.fun_name(), 1);
+    return call(target, args);
+  }
+
+  VValue eval_node(const lang::TupleExpr& n, const ExprPtr&, Env& env) {
+    std::vector<VValue> elems = eval_args(n.elems, env);
+    if (n.depth == 0) return VValue::tuple(std::move(elems));
+    std::vector<Array> comps;
+    comps.reserve(elems.size());
+    for (const VValue& v : elems) comps.push_back(v.as_seq());
+    return VValue::seq(Array::tuple(std::move(comps)));
+  }
+
+  VValue eval_node(const lang::TupleGet& n, const ExprPtr&, Env& env) {
+    VValue tuple = expr(n.tuple, env);
+    const std::size_t k = static_cast<std::size_t>(n.index - 1);
+    if (n.depth == 0) {
+      const auto& comps = tuple.as_tuple();
+      PROTEUS_REQUIRE(EvalError, k < comps.size(),
+                      "tuple component index out of range");
+      return comps[k];
+    }
+    const auto& comps = tuple.as_seq().components();
+    PROTEUS_REQUIRE(EvalError, k < comps.size(),
+                    "tuple component index out of range");
+    return VValue::seq(comps[k]);
+  }
+
+  VValue eval_node(const lang::SeqExpr& n, const ExprPtr& e, Env& env) {
+    std::vector<VValue> elems = eval_args(n.elems, env);
+    if (n.depth > 0) return seq_cons1(elems);
+    if (elems.empty()) {
+      lang::TypePtr elem_type =
+          n.elem_type != nullptr ? n.elem_type : e->type->elem();
+      return VValue::seq(empty_array_of(elem_type));
+    }
+    Array all = materialize(elems[0], 1);
+    for (std::size_t i = 1; i < elems.size(); ++i) {
+      all = seq::concat(all, materialize(elems[i], 1));
+    }
+    return VValue::seq(std::move(all));
+  }
+
+  VValue eval_node(const lang::Iterator&, const ExprPtr&, Env&) {
+    throw EvalError(
+        "vector executor given an iterator; run the transformation first");
+  }
+  VValue eval_node(const lang::Call&, const ExprPtr&, Env&) {
+    throw EvalError("vector executor given an unresolved Call node");
+  }
+  VValue eval_node(const lang::LambdaExpr&, const ExprPtr&, Env&) {
+    throw EvalError("vector executor given an unlifted lambda");
+  }
+
+  std::vector<VValue> eval_args(const std::vector<ExprPtr>& args, Env& env) {
+    std::vector<VValue> out;
+    out.reserve(args.size());
+    for (const ExprPtr& a : args) out.push_back(expr(a, env));
+    return out;
+  }
+
+  Executor& host_;
+};
+
+Executor::Executor(const lang::Program& program, PrimOptions options)
+    : program_(program), options_(options) {
+  for (const FunDef& f : program.functions) {
+    functions_[f.name] = &f;
+  }
+}
+
+VValue Executor::call_function(const std::string& name,
+                               const std::vector<VValue>& args) {
+  return VEval(*this).call(name, args);
+}
+
+VValue Executor::eval(const lang::ExprPtr& expr) {
+  Env env;
+  return VEval(*this).expr(expr, env);
+}
+
+}  // namespace proteus::exec

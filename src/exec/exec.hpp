@@ -1,0 +1,63 @@
+// exec.hpp — the vector-model executor: evaluates transformed (V-form)
+// programs over the flat representation of nested sequences.
+//
+// Input programs must be iterator-free with call depths <= 1 (the output
+// of the full pipeline of xform/pipeline.hpp). Each depth-1 call runs as a
+// handful of vl vector primitives over whole frames — this engine is the
+// stand-in for the paper's "C with CVL" target, and vl::stats() measures
+// the vector-model work it issues.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/prims.hpp"
+#include "exec/vvalue.hpp"
+#include "lang/ast.hpp"
+
+namespace proteus::exec {
+
+struct ExecStats {
+  std::uint64_t prim_applications = 0;  ///< primitive nodes evaluated
+  std::uint64_t calls = 0;              ///< user-function invocations
+  /// Per-opcode application counts (the mix of vector instructions the
+  /// transformed program issues — CVL-style instruction profile).
+  std::map<lang::Prim, std::uint64_t> per_prim;
+};
+
+/// Maximum user-level call depth (flattened recursion halves frames, so
+/// legitimate depth is O(log data) — a runaway indicates a transformation
+/// bug rather than deep data).
+inline constexpr int kMaxCallDepth = 8000;
+
+class Executor {
+ public:
+  /// `program` must be a transformed V program (e.g. Compiled::vec).
+  explicit Executor(const lang::Program& program,
+                    PrimOptions options = {});
+
+  /// Calls function `name` (use lang::extension_name for extensions).
+  [[nodiscard]] VValue call_function(const std::string& name,
+                                     const std::vector<VValue>& args);
+
+  /// Evaluates a closed V expression.
+  [[nodiscard]] VValue eval(const lang::ExprPtr& expr);
+
+  [[nodiscard]] ExecStats& stats() { return stats_; }
+  void reset_stats() { stats_ = ExecStats{}; }
+
+  [[nodiscard]] const lang::Program& program() const { return program_; }
+
+ private:
+  friend class VEval;
+  const lang::Program& program_;
+  std::unordered_map<std::string, const lang::FunDef*> functions_;
+  PrimOptions options_;
+  ExecStats stats_;
+  int call_depth_ = 0;
+};
+
+}  // namespace proteus::exec

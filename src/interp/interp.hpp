@@ -1,0 +1,61 @@
+// interp.hpp — the reference interpreter: the paper's "parallel semantics
+// simulated sequentially".
+//
+// The interpreter executes checked programs directly, realizing the
+// iterator's per-element semantics with an ordinary loop. It also
+// understands the transformed (V-form) constructs — depth-extended calls,
+// extract/insert/empty_frame/any_true — by generic elementwise mapping
+// over boxed frames, which gives the test suite a second, independent
+// oracle for transformed programs.
+//
+// It additionally tallies the machine-independent cost measures Proteus
+// prototyping is about (total work, iterator iterations, call count),
+// which the Section 6 benches compare against vector-model work.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/value.hpp"
+#include "lang/ast.hpp"
+
+namespace proteus::interp {
+
+/// Machine-independent cost counters — the measurements the paper says
+/// Proteus prototyping is for: "total work and available concurrency".
+/// `steps` is the critical path under the iterator's parallel semantics
+/// (iterations of one iterator count as max, not sum); work/steps is the
+/// available concurrency.
+struct InterpStats {
+  std::uint64_t scalar_ops = 0;   ///< primitive applications (total work)
+  std::uint64_t steps = 0;        ///< parallel critical path
+  std::uint64_t iterations = 0;   ///< iterator body evaluations
+  std::uint64_t calls = 0;        ///< user-function invocations
+};
+
+/// Maximum user-level call depth before the interpreter reports runaway
+/// recursion (keeps faulty programs from overrunning the C++ stack).
+inline constexpr int kMaxCallDepth = 8000;
+
+class Interpreter {
+ public:
+  /// `program` must be type-checked (all calls resolved).
+  explicit Interpreter(const lang::Program& program) : program_(program) {}
+
+  /// Calls function `name` with the given argument values.
+  [[nodiscard]] Value call_function(const std::string& name,
+                                    const ValueList& args);
+
+  /// Evaluates a closed, type-checked expression.
+  [[nodiscard]] Value eval(const lang::ExprPtr& expr);
+
+  [[nodiscard]] InterpStats& stats() { return stats_; }
+  void reset_stats() { stats_ = InterpStats{}; }
+
+ private:
+  friend class Eval;
+  const lang::Program& program_;
+  InterpStats stats_;
+  int call_depth_ = 0;
+};
+
+}  // namespace proteus::interp

@@ -1,0 +1,112 @@
+// value.hpp — boxed runtime values for the reference interpreter.
+//
+// The interpreter realizes the paper's "parallel semantics simulated
+// sequentially": values are ordinary boxed trees (a nested sequence is a
+// vector of element values). The vector-model executor uses the flat
+// representation instead (seq::Array); conversions between the two guided
+// by a static type live here so differential tests can compare engines.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/types.hpp"
+#include "seq/nested.hpp"
+#include "vl/vec.hpp"
+
+namespace proteus::interp {
+
+using vl::Int;
+using vl::Real;
+using vl::Size;
+
+class Value;
+using ValueList = std::vector<Value>;
+
+/// A boxed runtime value: scalar, sequence (vector of boxed elements),
+/// tuple, or function (named, fully parameterized). Cheap to copy
+/// (sequences and tuples share their element storage).
+class Value {
+ public:
+  Value() : node_(Int{0}) {}
+
+  static Value ints(Int v) { return Value(v); }
+  static Value reals(Real v) { return Value(v); }
+  static Value bools(bool v) { return Value(v); }
+  static Value seq(ValueList elems);
+  static Value tuple(ValueList elems);
+  static Value fun(std::string name);
+
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<Int>(node_);
+  }
+  [[nodiscard]] bool is_real() const {
+    return std::holds_alternative<Real>(node_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(node_);
+  }
+  [[nodiscard]] bool is_seq() const {
+    return std::holds_alternative<Seq>(node_);
+  }
+  [[nodiscard]] bool is_tuple() const {
+    return std::holds_alternative<Tuple>(node_);
+  }
+  [[nodiscard]] bool is_fun() const {
+    return std::holds_alternative<Fun>(node_);
+  }
+
+  /// Accessors throw EvalError when the kind does not match.
+  [[nodiscard]] Int as_int() const;
+  [[nodiscard]] Real as_real() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const ValueList& as_seq() const;
+  [[nodiscard]] const ValueList& as_tuple() const;
+  [[nodiscard]] const std::string& fun_name() const;
+
+  /// Deep structural equality. Function values compare by name.
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  struct Seq {
+    std::shared_ptr<const ValueList> elems;
+  };
+  struct Tuple {
+    std::shared_ptr<const ValueList> elems;
+  };
+  struct Fun {
+    std::shared_ptr<const std::string> name;
+  };
+
+  explicit Value(Int v) : node_(v) {}
+  explicit Value(Real v) : node_(v) {}
+  explicit Value(bool v) : node_(v) {}
+  explicit Value(Seq s) : node_(std::move(s)) {}
+  explicit Value(Tuple t) : node_(std::move(t)) {}
+  explicit Value(Fun f) : node_(std::move(f)) {}
+
+  std::variant<Int, Real, bool, Seq, Tuple, Fun> node_;
+};
+
+/// Renders a value in P literal syntax.
+[[nodiscard]] std::string to_text(const Value& v);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+// --- conversions boxed <-> flat representation --------------------------------
+
+/// Boxed value -> flat representation of the one-element sequence [v]?
+/// No: converts a *sequence-typed* boxed value into its Array-of-elements
+/// representation. `type` is the sequence's static type (needed to give
+/// empty sequences their element structure).
+[[nodiscard]] seq::Array to_array(const Value& v, const lang::TypePtr& type);
+
+/// Flat representation (element array of a sequence of static type `type`)
+/// -> boxed sequence value.
+[[nodiscard]] Value from_array(const seq::Array& a,
+                               const lang::TypePtr& type);
+
+}  // namespace proteus::interp

@@ -1,0 +1,118 @@
+#include "lang/ast.hpp"
+
+#include <array>
+#include <utility>
+
+namespace proteus::lang {
+
+namespace {
+
+struct PrimEntry {
+  Prim op;
+  const char* name;
+};
+
+// Source-visible names. The representation primitives (extract, insert,
+// empty_frame, any_true) are introduced only by the translation but are
+// given names so transformed programs can be printed and re-parsed.
+constexpr std::array<PrimEntry, 40> kPrimTable{{
+    {Prim::kAdd, "+"},
+    {Prim::kSub, "-"},
+    {Prim::kMul, "*"},
+    {Prim::kDiv, "/"},
+    {Prim::kMod, "mod"},
+    {Prim::kNeg, "neg"},
+    {Prim::kMin, "min"},
+    {Prim::kMax, "max"},
+    {Prim::kEq, "=="},
+    {Prim::kNe, "!="},
+    {Prim::kLt, "<"},
+    {Prim::kLe, "<="},
+    {Prim::kGt, ">"},
+    {Prim::kGe, ">="},
+    {Prim::kAnd, "and"},
+    {Prim::kOr, "or"},
+    {Prim::kNot, "not"},
+    {Prim::kToReal, "real"},
+    {Prim::kToInt, "int"},
+    {Prim::kSqrt, "sqrt"},
+    {Prim::kLength, "length"},
+    {Prim::kRange, "range"},
+    {Prim::kRange1, "range1"},
+    {Prim::kRestrict, "restrict"},
+    {Prim::kCombine, "combine"},
+    {Prim::kDist, "dist"},
+    {Prim::kSeqIndex, "seq_index"},
+    {Prim::kSeqIndexInner, "seq_index_inner"},
+    {Prim::kSeqUpdate, "update"},
+    {Prim::kFlatten, "flatten"},
+    {Prim::kConcat, "concat"},
+    {Prim::kSum, "sum"},
+    {Prim::kMaxVal, "maxval"},
+    {Prim::kMinVal, "minval"},
+    {Prim::kAnyV, "any"},
+    {Prim::kAllV, "all"},
+    {Prim::kReverse, "reverse"},
+    {Prim::kZip, "zip"},
+    {Prim::kExtract, "extract"},
+    {Prim::kInsert, "insert"},
+}};
+
+}  // namespace
+
+const char* prim_name(Prim p) {
+  for (const auto& e : kPrimTable) {
+    if (e.op == p) return e.name;
+  }
+  if (p == Prim::kEmptyFrame) return "empty_frame";
+  if (p == Prim::kAnyTrue) return "any_true";
+  return "<prim>";
+}
+
+bool lookup_prim(const std::string& name, Prim* out) {
+  for (const auto& e : kPrimTable) {
+    if (name == e.name) {
+      *out = e.op;
+      return true;
+    }
+  }
+  if (name == "empty_frame") {
+    *out = Prim::kEmptyFrame;
+    return true;
+  }
+  if (name == "any_true") {
+    *out = Prim::kAnyTrue;
+    return true;
+  }
+  return false;
+}
+
+ExprPtr make_expr(ExprNode node, TypePtr type, SourceLoc loc) {
+  return std::make_shared<const Expr>(
+      Expr{std::move(node), std::move(type), loc});
+}
+
+const FunDef* Program::find(const std::string& name) const {
+  for (const FunDef& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+FunDef* Program::find(const std::string& name) {
+  for (FunDef& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool Program::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::string extension_name(const std::string& base, int d) {
+  if (d == 0) return base;
+  return base + "^" + std::to_string(d);
+}
+
+}  // namespace proteus::lang

@@ -1,0 +1,267 @@
+// ast.hpp — abstract syntax of the source language P and of its
+// transformed, iterator-free form V.
+//
+// One expression type serves both languages: the parser produces P nodes
+// (including Iterator and unresolved Call), the type checker resolves
+// calls into PrimCall / FunCall / IndirectCall, and the transformation
+// engine (src/xform) eliminates Iterator nodes and introduces depth-d
+// parallel extensions (the `depth` field of the call nodes) plus the
+// representation primitives kExtract / kInsert / kEmptyFrame / kAnyTrue of
+// Section 4. A well-formed V expression contains no Iterator or Call
+// nodes and no filter clauses.
+//
+// Expressions are immutable and shared; transformation passes build new
+// spines and share unchanged subtrees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/types.hpp"
+#include "vl/vec.hpp"
+
+namespace proteus::lang {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Source position for diagnostics.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+/// The predefined functions of P (Table 2), the Section 4 representation
+/// primitives, and the Section 4.5 extended primitive set.
+enum class Prim : std::uint8_t {
+  // scalar arithmetic / comparison / logic (overloaded on Int/Real)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kMin,
+  kMax,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kToReal,
+  kToInt,
+  kSqrt,  // sqrt : real -> real
+  // sequence primitives of Table 2
+  kLength,     // #e
+  kRange,      // [e1 .. e2]
+  kRange1,     // range1(n) = [1..n]
+  kRestrict,   // restrict(v, m)
+  kCombine,    // combine(m, v, u)
+  kDist,       // dist(c, r)
+  kSeqIndex,   // v[i]        (1-origin)
+  kSeqIndexInner,  // seq_index_inner(v, is) = [v[i] : i in is] — the
+                   // Section 4.5 shared-row gather introduced by the
+                   // optimizer (never written in source)
+  kSeqUpdate,  // update(s, i, v) — out-of-place single-level update
+  // Section 4.5 extended predefined functions
+  kFlatten,    // flatten(v) : Seq(Seq(a)) -> Seq(a)
+  kConcat,     // v ++ w
+  kSum,        // sum(v)
+  kMaxVal,     // maxval(v) (nonempty)
+  kMinVal,     // minval(v) (nonempty)
+  kAnyV,       // any(v)
+  kAllV,       // all(v)
+  kReverse,    // reverse(v)
+  kZip,        // zip(a, b) : (Seq(x), Seq(y)) -> Seq((x, y))
+  // representation primitives introduced by the translation (Section 4)
+  kExtract,     // extract(frame, d)  — second arg is an Int literal
+  kInsert,      // insert(result, frame, d)
+  kEmptyFrame,  // empty frame with the node's static type
+  kAnyTrue,     // the R2d guard: restrict(M,M) != empty_frame(M)
+};
+
+/// Name of a primitive as it appears in source / printed output.
+[[nodiscard]] const char* prim_name(Prim p);
+
+/// Looks up a primitive by source name; returns false when `name` is not
+/// a primitive.
+[[nodiscard]] bool lookup_prim(const std::string& name, Prim* out);
+
+// --- expression node payloads -----------------------------------------------
+
+struct IntLit {
+  vl::Int value;
+};
+
+struct RealLit {
+  vl::Real value;
+};
+
+struct BoolLit {
+  bool value;
+};
+
+/// Reference to a let/iterator-bound variable, a function parameter, or a
+/// top-level function name (resolved during type checking; `is_function`
+/// marks the last case).
+struct VarRef {
+  std::string name;
+  bool is_function = false;
+};
+
+struct Let {
+  std::string var;
+  ExprPtr init;
+  ExprPtr body;
+};
+
+struct If {
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+/// The data-parallel construct of P: [var <- domain : body] and its
+/// filtered form [var <- domain | filter : body] (filter may be null).
+struct Iterator {
+  std::string var;
+  ExprPtr domain;
+  ExprPtr filter;  // may be null
+  ExprPtr body;
+};
+
+/// Unresolved application (parser output only).
+struct Call {
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+/// Application of the depth-`depth` parallel extension of a primitive.
+///
+/// When depth > 0, `lifted[i]` says whether argument i is a depth-`depth`
+/// frame (1) or a depth-0 value broadcast across the frame (0) — the
+/// Section 4.5 optimization of not replicating invariant arguments. An
+/// empty `lifted` means every argument is a frame.
+struct PrimCall {
+  Prim op;
+  int depth = 0;
+  std::vector<ExprPtr> args;
+  std::vector<std::uint8_t> lifted;
+};
+
+/// Application of the depth-`depth` parallel extension of a named
+/// top-level function. Unlike primitives, user functions receive every
+/// non-function argument as a frame (the transformation dist's invariant
+/// arguments up, as Section 3 prescribes); function-typed arguments are
+/// always broadcast.
+struct FunCall {
+  std::string name;
+  int depth = 0;
+  std::vector<ExprPtr> args;
+  std::vector<std::uint8_t> lifted;
+};
+
+/// Application of a function *value* (a function-typed variable), at
+/// parallel-extension depth `depth`.
+struct IndirectCall {
+  ExprPtr fn;
+  int depth = 0;
+  std::vector<ExprPtr> args;
+  std::vector<std::uint8_t> lifted;
+};
+
+/// Tuple construction; depth > 0 is the parallel extension (every element
+/// expression is then a depth-`depth` frame).
+struct TupleExpr {
+  std::vector<ExprPtr> elems;
+  int depth = 0;
+};
+
+/// 1-origin tuple component extraction e.k (k a static constant); depth > 0
+/// extracts the component from every tuple in a depth-`depth` frame.
+struct TupleGet {
+  ExprPtr tuple;
+  int index;
+  int depth = 0;
+};
+
+/// Sequence literal [e1, ..., en]; depth > 0 is the parallel extension of
+/// seq_cons (builds one length-n sequence per frame slot).
+struct SeqExpr {
+  std::vector<ExprPtr> elems;
+  /// Element type; required to type the empty literal `[] : seq(T)`.
+  TypePtr elem_type;  // may be null before type checking for nonempty lits
+  int depth = 0;
+};
+
+/// Fully-parameterized lambda (no free variables; enforced by the checker).
+struct LambdaExpr {
+  std::vector<std::string> params;
+  std::vector<TypePtr> param_types;
+  ExprPtr body;
+  /// Name assigned during lambda lifting (empty before lifting).
+  std::string lifted_name;
+};
+
+using ExprNode =
+    std::variant<IntLit, RealLit, BoolLit, VarRef, Let, If, Iterator, Call,
+                 PrimCall, FunCall, IndirectCall, TupleExpr, TupleGet, SeqExpr,
+                 LambdaExpr>;
+
+/// An expression: payload + static type (null until type checking) +
+/// source location.
+struct Expr {
+  ExprNode node;
+  TypePtr type;
+  SourceLoc loc;
+};
+
+/// Builds an expression node (type/loc optional).
+ExprPtr make_expr(ExprNode node, TypePtr type = nullptr, SourceLoc loc = {});
+
+/// Convenience accessors; each returns nullptr when the node kind differs.
+template <typename T>
+const T* as(const ExprPtr& e) {
+  return e == nullptr ? nullptr : std::get_if<T>(&e->node);
+}
+
+// --- function definitions and programs ---------------------------------------
+
+struct Param {
+  std::string name;
+  TypePtr type;
+};
+
+/// Top-level `fun name(p1: T1, ...): R = body`. Parallel extensions
+/// generated by the transformation are stored as separate FunDefs named
+/// `name^d` with `extension_of == name` and `extension_depth == d`.
+struct FunDef {
+  std::string name;
+  std::vector<Param> params;
+  TypePtr result;  // may be null before checking when omitted in source
+  ExprPtr body;
+  SourceLoc loc;
+
+  std::string extension_of;  // empty for user-written functions
+  int extension_depth = 0;
+};
+
+/// A program: an ordered set of named function definitions.
+struct Program {
+  std::vector<FunDef> functions;
+
+  [[nodiscard]] const FunDef* find(const std::string& name) const;
+  [[nodiscard]] FunDef* find(const std::string& name);
+  [[nodiscard]] bool contains(const std::string& name) const;
+};
+
+/// The name of the depth-d parallel extension of `f` (f itself for d == 0).
+[[nodiscard]] std::string extension_name(const std::string& base, int d);
+
+}  // namespace proteus::lang

@@ -1,0 +1,9 @@
+// lang.hpp — umbrella header for the front end of the source language P.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "lang/types.hpp"

@@ -1,0 +1,17 @@
+// lexer.hpp — hand-written scanner for the concrete syntax of P.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace proteus::lang {
+
+/// Scans a whole source text into tokens (ending with a kEnd token).
+/// Throws SyntaxError on malformed input. Comments run from `//` to end
+/// of line.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace proteus::lang

@@ -1,0 +1,42 @@
+// parser.hpp — recursive-descent parser for the concrete syntax of P.
+//
+// Grammar (operators listed loosest-to-tightest):
+//
+//   program  := fundef*
+//   fundef   := 'fun' IDENT '(' [param {',' param}] ')' [':' type] '=' expr
+//   param    := IDENT ':' type
+//   type     := 'int' | 'real' | 'bool' | 'seq' '(' type ')'
+//             | '(' type {',' type} ')' ['->' type]
+//   expr     := 'fun' '(' params ')' '=>' expr          (lambda)
+//             | 'let' IDENT '=' expr 'in' expr
+//             | 'if' expr 'then' expr 'else' expr
+//             | or-expr
+//   or / and / not / comparison / (+ - ++) / (* / mod) / unary(- #)
+//   postfix  := primary { '(' args ')' | '[' expr ']' | '.' INT }
+//   primary  := literal | IDENT
+//             | '(' expr {',' expr} ')'                 (group / tuple)
+//             | '(' '[' ']' ':' type ')'                (typed empty seq)
+//             | '[' expr '..' expr ']'                  (range)
+//             | '[' IDENT '<-' expr ['|' expr] ':' expr ']'   (iterator)
+//             | '[' [expr {',' expr}] ']'               (sequence literal)
+//
+// The parser resolves no names: every application is a Call node and every
+// identifier a VarRef; see typecheck.hpp.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace proteus::lang {
+
+/// Parses a whole program (a sequence of function definitions).
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parses a single expression (for tests and the REPL-style examples).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+/// Parses a type (for tests).
+[[nodiscard]] TypePtr parse_type(std::string_view source);
+
+}  // namespace proteus::lang

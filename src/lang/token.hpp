@@ -1,0 +1,76 @@
+// token.hpp — lexical tokens of the concrete syntax of P.
+//
+// The concrete syntax follows the paper's notation in ASCII:
+//
+//   fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]
+//   fun oddsq(n: int) = [i <- [1 .. n] | 1 == (i mod 2) : sqs(i)]
+//
+// `<-` binds an iterator variable, `|` introduces the filter, `#e` is
+// length, `e.k` tuple extraction, `[a .. b]` a range, `++` concatenation.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace proteus::lang {
+
+enum class Tok : std::uint8_t {
+  kEnd,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  // keywords
+  kFun,
+  kLet,
+  kIn,
+  kIf,
+  kThen,
+  kElse,
+  kTrue,
+  kFalse,
+  kAnd,
+  kOr,
+  kNot,
+  kMod,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kDotDot,
+  kHash,
+  kBar,
+  kAssign,      // =
+  kArrow,       // ->
+  kFatArrow,    // =>
+  kLeftArrow,   // <-
+  kPlus,
+  kPlusPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEqEq,
+  kBangEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;     // identifier spelling / literal spelling
+  vl::Int int_value = 0;
+  vl::Real real_value = 0.0;
+  SourceLoc loc;
+};
+
+/// Human-readable token name for diagnostics.
+[[nodiscard]] std::string token_name(Tok t);
+
+}  // namespace proteus::lang

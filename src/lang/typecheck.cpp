@@ -1,0 +1,678 @@
+#include "lang/typecheck.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "vl/check.hpp"
+
+namespace proteus::lang {
+
+namespace {
+
+[[noreturn]] void type_fail(SourceLoc loc, const std::string& msg) {
+  throw TypeError("type error at " + std::to_string(loc.line) + ":" +
+                  std::to_string(loc.column) + ": " + msg);
+}
+
+std::string describe_args(const std::vector<TypePtr>& args) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += to_string(args[i]);
+  }
+  return s + ")";
+}
+
+class Checker {
+ public:
+  explicit Checker(const Program& input) : input_(input) {
+    // Phase 1: record the signature of every function whose result type is
+    // declared (these support recursion and forward references).
+    for (const FunDef& f : input.functions) {
+      PROTEUS_REQUIRE(TypeError, !is_reserved(f.name),
+                      "function name '" + f.name +
+                          "' collides with a primitive");
+      PROTEUS_REQUIRE(TypeError, known_names_.insert(f.name).second,
+                      "duplicate function definition '" + f.name + "'");
+      if (f.result != nullptr) {
+        fun_types_[f.name] = signature(f);
+      }
+    }
+  }
+
+  Program run() {
+    for (const FunDef& f : input_.functions) {
+      check_function(f);
+    }
+    return std::move(output_);
+  }
+
+  ExprPtr check_standalone(const ExprPtr& expr, Program* lifted_out) {
+    // All input functions are assumed already checked: import them.
+    for (const FunDef& f : input_.functions) {
+      PROTEUS_REQUIRE(TypeError, f.result != nullptr,
+                      "typecheck_expression requires a checked program");
+      fun_types_[f.name] = signature(f);
+    }
+    current_fun_ = "toplevel";
+    ExprPtr typed = check(expr);
+    if (lifted_out != nullptr) *lifted_out = std::move(output_);
+    return typed;
+  }
+
+ private:
+  static TypePtr signature(const FunDef& f) {
+    std::vector<TypePtr> params;
+    params.reserve(f.params.size());
+    for (const Param& p : f.params) {
+      PROTEUS_REQUIRE(TypeError, p.type != nullptr,
+                      "parameter '" + p.name + "' of '" + f.name +
+                          "' lacks a type annotation");
+      params.push_back(p.type);
+    }
+    return Type::fun(std::move(params), f.result);
+  }
+
+  static bool is_reserved(const std::string& name) {
+    Prim p;
+    return lookup_prim(name, &p);
+  }
+
+  void check_function(const FunDef& f) {
+    current_fun_ = f.name;
+    scopes_.clear();
+    push_scope();
+    for (const Param& p : f.params) {
+      PROTEUS_REQUIRE(TypeError, !is_reserved(p.name) &&
+                          !known_names_.contains(p.name),
+                      "parameter '" + p.name +
+                          "' shadows a function or primitive");
+      declare(p.name, p.type, f.loc);
+    }
+    ExprPtr body = check(f.body);
+    pop_scope();
+
+    FunDef out = f;
+    out.body = body;
+    if (out.result == nullptr) {
+      out.result = body->type;
+      fun_types_[out.name] = signature(out);
+    } else {
+      PROTEUS_REQUIRE(
+          TypeError, equal(out.result, body->type),
+          "body of '" + f.name + "' has type " + to_string(body->type) +
+              " but the declared result type is " + to_string(out.result));
+    }
+    output_.functions.push_back(std::move(out));
+  }
+
+  // --- scope management ------------------------------------------------------
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare(const std::string& name, TypePtr type, SourceLoc loc) {
+    if (is_reserved(name) || known_names_.contains(name)) {
+      type_fail(loc, "'" + name + "' shadows a function or primitive name");
+    }
+    scopes_.back()[name] = std::move(type);
+  }
+
+  [[nodiscard]] const TypePtr* lookup_var(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // --- expression checking ---------------------------------------------------
+
+  ExprPtr check(const ExprPtr& e) {
+    return std::visit([&](const auto& node) { return check_node(node, e); },
+                      e->node);
+  }
+
+  ExprPtr check_node(const IntLit& n, const ExprPtr& e) {
+    return make_expr(n, Type::int_(), e->loc);
+  }
+
+  ExprPtr check_node(const RealLit& n, const ExprPtr& e) {
+    return make_expr(n, Type::real(), e->loc);
+  }
+
+  ExprPtr check_node(const BoolLit& n, const ExprPtr& e) {
+    return make_expr(n, Type::bool_(), e->loc);
+  }
+
+  ExprPtr check_node(const VarRef& n, const ExprPtr& e) {
+    if (const TypePtr* t = lookup_var(n.name)) {
+      return make_expr(VarRef{n.name, false}, *t, e->loc);
+    }
+    auto fn = fun_types_.find(n.name);
+    if (fn != fun_types_.end()) {
+      return make_expr(VarRef{n.name, true}, fn->second, e->loc);
+    }
+    Prim p;
+    if (lookup_prim(n.name, &p)) {
+      type_fail(e->loc, "primitive '" + n.name +
+                            "' cannot be used as a value; wrap it in a fun");
+    }
+    if (known_names_.contains(n.name)) {
+      type_fail(e->loc,
+                "function '" + n.name +
+                    "' is referenced before its result type is known; "
+                    "annotate its result type to allow forward references");
+    }
+    type_fail(e->loc, "unknown identifier '" + n.name + "'");
+  }
+
+  ExprPtr check_node(const Let& n, const ExprPtr& e) {
+    ExprPtr init = check(n.init);
+    push_scope();
+    declare(n.var, init->type, e->loc);
+    ExprPtr body = check(n.body);
+    pop_scope();
+    TypePtr t = body->type;
+    return make_expr(Let{n.var, std::move(init), std::move(body)},
+                     std::move(t), e->loc);
+  }
+
+  ExprPtr check_node(const If& n, const ExprPtr& e) {
+    ExprPtr cond = check(n.cond);
+    if (!equal(cond->type, Type::bool_())) {
+      type_fail(e->loc,
+                "if condition has type " + to_string(cond->type) +
+                    ", expected bool");
+    }
+    ExprPtr then_e = check(n.then_expr);
+    ExprPtr else_e = check(n.else_expr);
+    if (!equal(then_e->type, else_e->type)) {
+      type_fail(e->loc, "if branches have different types: " +
+                            to_string(then_e->type) + " vs " +
+                            to_string(else_e->type));
+    }
+    TypePtr t = then_e->type;
+    return make_expr(If{std::move(cond), std::move(then_e), std::move(else_e)},
+                     std::move(t), e->loc);
+  }
+
+  ExprPtr check_node(const Iterator& n, const ExprPtr& e) {
+    ExprPtr domain = check(n.domain);
+    if (!domain->type->is_seq()) {
+      type_fail(e->loc, "iterator domain has type " + to_string(domain->type) +
+                            ", expected a sequence");
+    }
+    push_scope();
+    declare(n.var, domain->type->elem(), e->loc);
+    ExprPtr filter;
+    if (n.filter != nullptr) {
+      filter = check(n.filter);
+      if (!equal(filter->type, Type::bool_())) {
+        type_fail(e->loc, "iterator filter has type " +
+                              to_string(filter->type) + ", expected bool");
+      }
+    }
+    ExprPtr body = check(n.body);
+    pop_scope();
+    TypePtr t = Type::seq(body->type);
+    return make_expr(Iterator{n.var, std::move(domain), std::move(filter),
+                              std::move(body)},
+                     std::move(t), e->loc);
+  }
+
+  ExprPtr check_node(const Call& n, const ExprPtr& e) {
+    std::vector<ExprPtr> args;
+    args.reserve(n.args.size());
+    std::vector<TypePtr> arg_types;
+    arg_types.reserve(n.args.size());
+    for (const ExprPtr& a : n.args) {
+      args.push_back(check(a));
+      arg_types.push_back(args.back()->type);
+    }
+
+    // Case 1: callee is a bare name — a primitive, a known function, or a
+    // function-typed local variable.
+    if (const auto* var = as<VarRef>(n.callee)) {
+      if (const TypePtr* vt = lookup_var(var->name)) {
+        return finish_indirect(
+            make_expr(VarRef{var->name, false}, *vt, n.callee->loc),
+            std::move(args), arg_types, e->loc);
+      }
+      Prim p;
+      if (lookup_prim(var->name, &p)) {
+        TypePtr result = resolve_prim(p, arg_types, e->loc);
+        return make_expr(PrimCall{p, 0, std::move(args), {}}, std::move(result),
+                         e->loc);
+      }
+      auto fn = fun_types_.find(var->name);
+      if (fn != fun_types_.end()) {
+        check_call_args(fn->second, arg_types, var->name, e->loc);
+        TypePtr result = fn->second->result();
+        return make_expr(FunCall{var->name, 0, std::move(args), {}},
+                         std::move(result), e->loc);
+      }
+      if (known_names_.contains(var->name)) {
+        type_fail(e->loc,
+                  "function '" + var->name +
+                      "' is called before its result type is known; "
+                      "annotate its result type to allow this");
+      }
+      type_fail(e->loc, "unknown function '" + var->name + "'");
+    }
+
+    // Case 2: callee is a lambda — lift it and call the lifted name.
+    if (as<LambdaExpr>(n.callee) != nullptr) {
+      ExprPtr lifted = check(n.callee);  // VarRef to the lifted definition
+      const auto* ref = as<VarRef>(lifted);
+      check_call_args(lifted->type, arg_types, ref->name, e->loc);
+      TypePtr result = lifted->type->result();
+      return make_expr(FunCall{ref->name, 0, std::move(args), {}},
+                       std::move(result), e->loc);
+    }
+
+    // Case 3: arbitrary function-valued expression.
+    return finish_indirect(check(n.callee), std::move(args), arg_types,
+                           e->loc);
+  }
+
+  ExprPtr finish_indirect(ExprPtr fn, std::vector<ExprPtr> args,
+                          const std::vector<TypePtr>& arg_types,
+                          SourceLoc loc) {
+    if (!fn->type->is_fun()) {
+      type_fail(loc, "applied expression has type " + to_string(fn->type) +
+                         ", expected a function");
+    }
+    check_call_args(fn->type, arg_types, "<function value>", loc);
+    TypePtr result = fn->type->result();
+    return make_expr(IndirectCall{std::move(fn), 0, std::move(args), {}},
+                     std::move(result), loc);
+  }
+
+  void check_call_args(const TypePtr& fn_type,
+                       const std::vector<TypePtr>& args,
+                       const std::string& name, SourceLoc loc) {
+    std::vector<TypePtr> params = fn_type->params();
+    if (params.size() != args.size()) {
+      type_fail(loc, "'" + name + "' expects " +
+                         std::to_string(params.size()) + " argument(s), got " +
+                         std::to_string(args.size()));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!equal(params[i], args[i])) {
+        type_fail(loc, "argument " + std::to_string(i + 1) + " of '" + name +
+                           "' has type " + to_string(args[i]) + ", expected " +
+                           to_string(params[i]));
+      }
+    }
+  }
+
+  ExprPtr check_node(const PrimCall& n, const ExprPtr& e) {
+    // Re-checking already-resolved code (e.g. transformed programs).
+    std::vector<ExprPtr> args;
+    std::vector<TypePtr> arg_types;
+    for (const ExprPtr& a : n.args) {
+      args.push_back(check(a));
+      arg_types.push_back(args.back()->type);
+    }
+    if (n.op == Prim::kEmptyFrame) {
+      PROTEUS_REQUIRE(TypeError, e->type != nullptr,
+                      "empty_frame node lacks a type annotation");
+      return make_expr(PrimCall{n.op, n.depth, std::move(args), n.lifted}, e->type,
+                       e->loc);
+    }
+    PROTEUS_REQUIRE(TypeError, n.depth == 0,
+                    "cannot re-check a depth-extended primitive call");
+    TypePtr result = resolve_prim(n.op, arg_types, e->loc);
+    return make_expr(PrimCall{n.op, 0, std::move(args), {}}, std::move(result),
+                     e->loc);
+  }
+
+  ExprPtr check_node(const FunCall& n, const ExprPtr& e) {
+    PROTEUS_REQUIRE(TypeError, n.depth == 0,
+                    "cannot re-check a depth-extended function call");
+    std::vector<ExprPtr> args;
+    std::vector<TypePtr> arg_types;
+    for (const ExprPtr& a : n.args) {
+      args.push_back(check(a));
+      arg_types.push_back(args.back()->type);
+    }
+    auto fn = fun_types_.find(n.name);
+    if (fn == fun_types_.end()) {
+      type_fail(e->loc, "unknown function '" + n.name + "'");
+    }
+    check_call_args(fn->second, arg_types, n.name, e->loc);
+    TypePtr result = fn->second->result();
+    return make_expr(FunCall{n.name, 0, std::move(args), {}}, std::move(result),
+                     e->loc);
+  }
+
+  ExprPtr check_node(const IndirectCall& n, const ExprPtr& e) {
+    std::vector<ExprPtr> args;
+    std::vector<TypePtr> arg_types;
+    for (const ExprPtr& a : n.args) {
+      args.push_back(check(a));
+      arg_types.push_back(args.back()->type);
+    }
+    return finish_indirect(check(n.fn), std::move(args), arg_types, e->loc);
+  }
+
+  ExprPtr check_node(const TupleExpr& n, const ExprPtr& e) {
+    std::vector<ExprPtr> elems;
+    std::vector<TypePtr> types;
+    for (const ExprPtr& el : n.elems) {
+      elems.push_back(check(el));
+      types.push_back(elems.back()->type);
+    }
+    TypePtr t = Type::tuple(std::move(types));
+    return make_expr(TupleExpr{std::move(elems)}, std::move(t), e->loc);
+  }
+
+  ExprPtr check_node(const TupleGet& n, const ExprPtr& e) {
+    ExprPtr tuple = check(n.tuple);
+    if (!tuple->type->is_tuple()) {
+      type_fail(e->loc, "component extraction from non-tuple type " +
+                            to_string(tuple->type));
+    }
+    const auto& comps = tuple->type->components();
+    if (n.index < 1 || static_cast<std::size_t>(n.index) > comps.size()) {
+      type_fail(e->loc, "tuple component index " + std::to_string(n.index) +
+                            " out of range (tuple has " +
+                            std::to_string(comps.size()) + " components)");
+    }
+    TypePtr t = comps[static_cast<std::size_t>(n.index - 1)];
+    return make_expr(TupleGet{std::move(tuple), n.index}, std::move(t),
+                     e->loc);
+  }
+
+  /// True for a bare `[]` whose element type is not yet known.
+  static bool is_untyped_empty_literal(const ExprPtr& el) {
+    const auto* lit = as<SeqExpr>(el);
+    return lit != nullptr && lit->elems.empty() && lit->elem_type == nullptr;
+  }
+
+  ExprPtr check_node(const SeqExpr& n, const ExprPtr& e) {
+    // Two passes so bare `[]` elements can take their type from siblings
+    // (e.g. [[1],[],[2]]); a lone `[]` still needs an ascription.
+    std::vector<ExprPtr> elems(n.elems.size());
+    TypePtr elem_type = n.elem_type;
+    for (std::size_t i = 0; i < n.elems.size(); ++i) {
+      if (is_untyped_empty_literal(n.elems[i])) continue;
+      elems[i] = check(n.elems[i]);
+      if (elem_type == nullptr) elem_type = elems[i]->type;
+    }
+    if (elem_type == nullptr) {
+      type_fail(e->loc,
+                "empty sequence literal lacks an element type; ascribe it: "
+                "([...] : seq(T))");
+    }
+    for (std::size_t i = 0; i < n.elems.size(); ++i) {
+      if (elems[i] != nullptr) continue;
+      if (!elem_type->is_seq()) {
+        type_fail(n.elems[i]->loc,
+                  "empty sequence element in a sequence of non-sequence "
+                  "elements (" +
+                      to_string(elem_type) + ")");
+      }
+      elems[i] = make_expr(SeqExpr{{}, elem_type->elem(), 0}, elem_type,
+                           n.elems[i]->loc);
+    }
+    for (const ExprPtr& el : elems) {
+      if (!equal(el->type, elem_type)) {
+        type_fail(e->loc, "sequence literal is not homogeneous: element of "
+                          "type " +
+                              to_string(el->type) + " in a sequence of " +
+                              to_string(elem_type));
+      }
+    }
+    PROTEUS_REQUIRE(TypeError, !elem_type->is_fun(),
+                    "sequences of function values cannot be constructed");
+    TypePtr t = Type::seq(elem_type);
+    return make_expr(SeqExpr{std::move(elems), elem_type}, std::move(t),
+                     e->loc);
+  }
+
+  ExprPtr check_node(const LambdaExpr& n, const ExprPtr& e) {
+    // Lambdas are fully parameterized: check the body in a fresh scope that
+    // sees only the lambda's own parameters (and top-level functions).
+    std::vector<std::unordered_map<std::string, TypePtr>> saved;
+    saved.swap(scopes_);
+    push_scope();
+    for (std::size_t i = 0; i < n.params.size(); ++i) {
+      PROTEUS_REQUIRE(TypeError, n.param_types[i] != nullptr,
+                      "lambda parameter '" + n.params[i] +
+                          "' lacks a type annotation");
+      declare(n.params[i], n.param_types[i], e->loc);
+    }
+    ExprPtr body;
+    try {
+      body = check(n.body);
+    } catch (const TypeError& err) {
+      scopes_.swap(saved);
+      throw TypeError(std::string(err.what()) +
+                      " (note: lambdas are fully parameterized and cannot "
+                      "reference enclosing variables)");
+    }
+    pop_scope();
+    scopes_.swap(saved);
+
+    // Lift to a fresh top-level definition and refer to it by name.
+    std::string name =
+        current_fun_ + "_lam" + std::to_string(++lambda_counter_);
+    FunDef def;
+    def.name = name;
+    for (std::size_t i = 0; i < n.params.size(); ++i) {
+      def.params.push_back(Param{n.params[i], n.param_types[i]});
+    }
+    def.result = body->type;
+    def.body = body;
+    def.loc = e->loc;
+    TypePtr fn_type = signature(def);
+    fun_types_[name] = fn_type;
+    known_names_.insert(name);
+    output_.functions.push_back(std::move(def));
+    return make_expr(VarRef{name, true}, std::move(fn_type), e->loc);
+  }
+
+  TypePtr resolve_prim(Prim op, const std::vector<TypePtr>& args,
+                       SourceLoc loc) {
+    try {
+      return prim_result_type(op, args);
+    } catch (const TypeError& err) {
+      type_fail(loc, err.what());
+    }
+  }
+
+  const Program& input_;
+  Program output_;
+  std::unordered_map<std::string, TypePtr> fun_types_;
+  std::unordered_set<std::string> known_names_;
+  std::vector<std::unordered_map<std::string, TypePtr>> scopes_;
+  std::string current_fun_;
+  int lambda_counter_ = 0;
+};
+
+[[noreturn]] void no_overload(Prim op, const std::vector<TypePtr>& args) {
+  throw TypeError(std::string("no overload of '") + prim_name(op) +
+                  "' accepts " + describe_args(args));
+}
+
+void need_arity(Prim op, const std::vector<TypePtr>& args, std::size_t n) {
+  if (args.size() != n) no_overload(op, args);
+}
+
+}  // namespace
+
+TypePtr prim_result_type(Prim op, const std::vector<TypePtr>& args) {
+  using K = TypeKind;
+  auto is = [&](std::size_t i, K k) { return args[i]->kind() == k; };
+  auto same = [&](std::size_t i, std::size_t j) {
+    return equal(args[i], args[j]);
+  };
+
+  switch (op) {
+    case Prim::kAdd:
+    case Prim::kSub:
+    case Prim::kMul:
+    case Prim::kDiv:
+      need_arity(op, args, 2);
+      if (same(0, 1) && args[0]->is_numeric()) return args[0];
+      no_overload(op, args);
+    case Prim::kMod:
+      need_arity(op, args, 2);
+      if (is(0, K::kInt) && is(1, K::kInt)) return args[0];
+      no_overload(op, args);
+    case Prim::kNeg:
+      need_arity(op, args, 1);
+      if (args[0]->is_numeric()) return args[0];
+      no_overload(op, args);
+    case Prim::kMin:
+    case Prim::kMax:
+      need_arity(op, args, 2);
+      if (same(0, 1) && args[0]->is_numeric()) return args[0];
+      no_overload(op, args);
+    case Prim::kEq:
+    case Prim::kNe:
+      need_arity(op, args, 2);
+      if (same(0, 1) && args[0]->is_scalar()) return Type::bool_();
+      no_overload(op, args);
+    case Prim::kLt:
+    case Prim::kLe:
+    case Prim::kGt:
+    case Prim::kGe:
+      need_arity(op, args, 2);
+      if (same(0, 1) && args[0]->is_numeric()) return Type::bool_();
+      no_overload(op, args);
+    case Prim::kAnd:
+    case Prim::kOr:
+      need_arity(op, args, 2);
+      if (is(0, K::kBool) && is(1, K::kBool)) return Type::bool_();
+      no_overload(op, args);
+    case Prim::kNot:
+      need_arity(op, args, 1);
+      if (is(0, K::kBool)) return Type::bool_();
+      no_overload(op, args);
+    case Prim::kToReal:
+      need_arity(op, args, 1);
+      if (is(0, K::kInt)) return Type::real();
+      no_overload(op, args);
+    case Prim::kToInt:
+      need_arity(op, args, 1);
+      if (is(0, K::kReal)) return Type::int_();
+      no_overload(op, args);
+    case Prim::kSqrt:
+      need_arity(op, args, 1);
+      if (is(0, K::kReal)) return Type::real();
+      no_overload(op, args);
+    case Prim::kLength:
+      need_arity(op, args, 1);
+      if (is(0, K::kSeq)) return Type::int_();
+      no_overload(op, args);
+    case Prim::kRange:
+      need_arity(op, args, 2);
+      if (is(0, K::kInt) && is(1, K::kInt)) return Type::seq(Type::int_());
+      no_overload(op, args);
+    case Prim::kRange1:
+      need_arity(op, args, 1);
+      if (is(0, K::kInt)) return Type::seq(Type::int_());
+      no_overload(op, args);
+    case Prim::kRestrict:
+      need_arity(op, args, 2);
+      if (is(0, K::kSeq) && equal(args[1], Type::seq(Type::bool_()))) {
+        return args[0];
+      }
+      no_overload(op, args);
+    case Prim::kCombine:
+      need_arity(op, args, 3);
+      if (equal(args[0], Type::seq(Type::bool_())) && is(1, K::kSeq) &&
+          same(1, 2)) {
+        return args[1];
+      }
+      no_overload(op, args);
+    case Prim::kDist:
+      need_arity(op, args, 2);
+      if (!args[0]->is_fun() && is(1, K::kInt)) return Type::seq(args[0]);
+      no_overload(op, args);
+    case Prim::kSeqIndex:
+      need_arity(op, args, 2);
+      if (is(0, K::kSeq) && is(1, K::kInt)) return args[0]->elem();
+      no_overload(op, args);
+    case Prim::kSeqIndexInner:
+      need_arity(op, args, 2);
+      if (is(0, K::kSeq) && equal(args[1], Type::seq(Type::int_()))) {
+        return args[0];
+      }
+      no_overload(op, args);
+    case Prim::kSeqUpdate:
+      need_arity(op, args, 3);
+      if (is(0, K::kSeq) && is(1, K::kInt) && equal(args[0]->elem(), args[2])) {
+        return args[0];
+      }
+      no_overload(op, args);
+    case Prim::kFlatten:
+      need_arity(op, args, 1);
+      if (is(0, K::kSeq) && args[0]->elem()->is_seq()) return args[0]->elem();
+      no_overload(op, args);
+    case Prim::kConcat:
+      need_arity(op, args, 2);
+      if (is(0, K::kSeq) && same(0, 1)) return args[0];
+      no_overload(op, args);
+    case Prim::kSum:
+      need_arity(op, args, 1);
+      if (is(0, K::kSeq) && args[0]->elem()->is_numeric()) {
+        return args[0]->elem();
+      }
+      no_overload(op, args);
+    case Prim::kMaxVal:
+    case Prim::kMinVal:
+      need_arity(op, args, 1);
+      if (is(0, K::kSeq) && args[0]->elem()->is_numeric()) {
+        return args[0]->elem();
+      }
+      no_overload(op, args);
+    case Prim::kAnyV:
+    case Prim::kAllV:
+      need_arity(op, args, 1);
+      if (equal(args[0], Type::seq(Type::bool_()))) return Type::bool_();
+      no_overload(op, args);
+    case Prim::kReverse:
+      need_arity(op, args, 1);
+      if (is(0, K::kSeq)) return args[0];
+      no_overload(op, args);
+    case Prim::kZip:
+      need_arity(op, args, 2);
+      if (is(0, K::kSeq) && is(1, K::kSeq) && !args[0]->elem()->is_fun() &&
+          !args[1]->elem()->is_fun()) {
+        return Type::seq(Type::tuple({args[0]->elem(), args[1]->elem()}));
+      }
+      no_overload(op, args);
+    case Prim::kExtract: {
+      // extract(frame, d): removes d Seq wrappers; d is an Int literal
+      // argument whose value the transformation engine validates.
+      need_arity(op, args, 2);
+      no_overload(op, args);  // only constructed by xform with known types
+    }
+    case Prim::kInsert:
+      need_arity(op, args, 3);
+      no_overload(op, args);
+    case Prim::kEmptyFrame:
+      throw TypeError("empty_frame requires an explicit type annotation");
+    case Prim::kAnyTrue:
+      need_arity(op, args, 1);
+      if (equal(seq_base(args[0]), Type::bool_()) && args[0]->is_seq()) {
+        return Type::bool_();
+      }
+      no_overload(op, args);
+  }
+  no_overload(op, args);
+}
+
+Program typecheck(const Program& program) { return Checker(program).run(); }
+
+ExprPtr typecheck_expression(const Program& program, const ExprPtr& expr,
+                             Program* lifted_out) {
+  return Checker(program).check_standalone(expr, lifted_out);
+}
+
+}  // namespace proteus::lang

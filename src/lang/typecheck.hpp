@@ -1,0 +1,41 @@
+// typecheck.hpp — static, monomorphic type checking and name resolution
+// for P (Section 2 requires every expression's type to be static and
+// monomorphic; overloading of the arithmetic primitives on Int/Real is
+// resolved here).
+//
+// The checker
+//   * resolves every Call node into PrimCall / FunCall / IndirectCall,
+//   * annotates every expression with its type,
+//   * lifts lambda expressions (which must be fully parameterized — no
+//     free variables — per Section 2) into fresh top-level definitions,
+//   * fills in omitted function result types (a result annotation is
+//     required only for recursive and forward-referenced functions).
+//
+// Scoping rules: iterator and let variables may shadow each other and
+// parameters, but may not shadow primitive or top-level function names
+// (this keeps call resolution static, which the transformation relies on).
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace proteus::lang {
+
+/// Type-checks `program` and returns the checked (resolved, annotated,
+/// lambda-lifted) program. Throws TypeError on failure.
+[[nodiscard]] Program typecheck(const Program& program);
+
+/// Type-checks a standalone expression against the functions of an
+/// already-checked `program` (used for "run this expression" entry
+/// points). Returns the typed expression.
+[[nodiscard]] ExprPtr typecheck_expression(const Program& program,
+                                           const ExprPtr& expr,
+                                           Program* lifted_out = nullptr);
+
+/// Result type of applying primitive `op` to arguments of the given
+/// types; throws TypeError when no overload matches. `empty_frame_type`
+/// supplies the result type for kEmptyFrame (which is not inferable from
+/// its argument alone).
+[[nodiscard]] TypePtr prim_result_type(Prim op,
+                                       const std::vector<TypePtr>& args);
+
+}  // namespace proteus::lang

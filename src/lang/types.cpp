@@ -1,0 +1,165 @@
+#include "lang/types.hpp"
+
+#include <sstream>
+
+namespace proteus::lang {
+
+TypePtr Type::make(TypeKind kind, std::vector<TypePtr> children) {
+  // Not make_shared: the constructor is private.
+  return TypePtr(new Type(kind, std::move(children)));
+}
+
+const TypePtr& Type::elem() const {
+  PROTEUS_REQUIRE(TypeError, kind_ == TypeKind::kSeq,
+                  "elem() on non-sequence type");
+  return children_[0];
+}
+
+const std::vector<TypePtr>& Type::components() const {
+  PROTEUS_REQUIRE(TypeError, kind_ == TypeKind::kTuple,
+                  "components() on non-tuple type");
+  return children_;
+}
+
+std::vector<TypePtr> Type::params() const {
+  PROTEUS_REQUIRE(TypeError, kind_ == TypeKind::kFun,
+                  "params() on non-function type");
+  return {children_.begin(), children_.end() - 1};
+}
+
+const TypePtr& Type::result() const {
+  PROTEUS_REQUIRE(TypeError, kind_ == TypeKind::kFun,
+                  "result() on non-function type");
+  return children_.back();
+}
+
+TypePtr Type::int_() {
+  static const TypePtr t = make(TypeKind::kInt, {});
+  return t;
+}
+
+TypePtr Type::real() {
+  static const TypePtr t = make(TypeKind::kReal, {});
+  return t;
+}
+
+TypePtr Type::bool_() {
+  static const TypePtr t = make(TypeKind::kBool, {});
+  return t;
+}
+
+TypePtr Type::seq(TypePtr elem) {
+  PROTEUS_REQUIRE(TypeError, elem != nullptr, "seq() of null type");
+  return make(TypeKind::kSeq, {std::move(elem)});
+}
+
+TypePtr Type::seq_n(TypePtr base, int d) {
+  PROTEUS_REQUIRE(TypeError, d >= 0, "seq_n() with negative depth");
+  TypePtr t = std::move(base);
+  for (int i = 0; i < d; ++i) t = seq(std::move(t));
+  return t;
+}
+
+TypePtr Type::tuple(std::vector<TypePtr> components) {
+  PROTEUS_REQUIRE(TypeError, !components.empty(),
+                  "tuple type needs at least one component");
+  return make(TypeKind::kTuple, std::move(components));
+}
+
+TypePtr Type::fun(std::vector<TypePtr> params, TypePtr result) {
+  std::vector<TypePtr> children = params;
+  children.push_back(std::move(result));
+  TypePtr t = make(TypeKind::kFun, std::move(children));
+  return t;
+}
+
+bool equal(const TypePtr& a, const TypePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kBool:
+      return true;
+    case TypeKind::kSeq:
+      return equal(a->elem(), b->elem());
+    case TypeKind::kTuple: {
+      const auto& ca = a->components();
+      const auto& cb = b->components();
+      if (ca.size() != cb.size()) return false;
+      for (std::size_t i = 0; i < ca.size(); ++i) {
+        if (!equal(ca[i], cb[i])) return false;
+      }
+      return true;
+    }
+    case TypeKind::kFun: {
+      const auto& pa = a->params();
+      const auto& pb = b->params();
+      if (pa.size() != pb.size()) return false;
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (!equal(pa[i], pb[i])) return false;
+      }
+      return equal(a->result(), b->result());
+    }
+  }
+  return false;
+}
+
+std::string to_string(const TypePtr& t) {
+  if (t == nullptr) return "<untyped>";
+  std::ostringstream os;
+  switch (t->kind()) {
+    case TypeKind::kInt:
+      os << "int";
+      break;
+    case TypeKind::kReal:
+      os << "real";
+      break;
+    case TypeKind::kBool:
+      os << "bool";
+      break;
+    case TypeKind::kSeq:
+      os << "seq(" << to_string(t->elem()) << ')';
+      break;
+    case TypeKind::kTuple: {
+      os << '(';
+      const auto& cs = t->components();
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << to_string(cs[i]);
+      }
+      os << ')';
+      break;
+    }
+    case TypeKind::kFun: {
+      os << '(';
+      const auto& ps = t->params();
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << to_string(ps[i]);
+      }
+      os << ") -> " << to_string(t->result());
+      break;
+    }
+  }
+  return os.str();
+}
+
+int seq_depth(const TypePtr& t) {
+  int d = 0;
+  const Type* cur = t.get();
+  while (cur != nullptr && cur->kind() == TypeKind::kSeq) {
+    ++d;
+    cur = cur->elem().get();
+  }
+  return d;
+}
+
+TypePtr seq_base(const TypePtr& t) {
+  TypePtr cur = t;
+  while (cur != nullptr && cur->kind() == TypeKind::kSeq) cur = cur->elem();
+  return cur;
+}
+
+}  // namespace proteus::lang

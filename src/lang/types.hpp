@@ -1,0 +1,93 @@
+// types.hpp — the static types of the source language P (Section 2):
+//
+//   T ::= Int | Real | Bool | Seq(T) | (T x ... x T) | (T,...,T) -> T
+//
+// (Real is a conservative extension of the paper's scalar set, which the
+// paper itself says is "limited to simplify the exposition".) All types
+// are static and monomorphic; overloaded arithmetic is resolved during
+// type checking. Types are immutable shared values with structural
+// equality.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vl/check.hpp"
+
+namespace proteus::lang {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+enum class TypeKind : std::uint8_t {
+  kInt,
+  kReal,
+  kBool,
+  kSeq,
+  kTuple,
+  kFun,
+};
+
+/// A monomorphic type of P. Construct through the factory functions below
+/// (scalar types are interned singletons).
+class Type {
+ public:
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+
+  [[nodiscard]] bool is_scalar() const {
+    return kind_ == TypeKind::kInt || kind_ == TypeKind::kReal ||
+           kind_ == TypeKind::kBool;
+  }
+  [[nodiscard]] bool is_numeric() const {
+    return kind_ == TypeKind::kInt || kind_ == TypeKind::kReal;
+  }
+  [[nodiscard]] bool is_seq() const { return kind_ == TypeKind::kSeq; }
+  [[nodiscard]] bool is_tuple() const { return kind_ == TypeKind::kTuple; }
+  [[nodiscard]] bool is_fun() const { return kind_ == TypeKind::kFun; }
+
+  /// Element type of a Seq type (throws TypeError otherwise).
+  [[nodiscard]] const TypePtr& elem() const;
+
+  /// Component types of a tuple type (throws TypeError otherwise).
+  [[nodiscard]] const std::vector<TypePtr>& components() const;
+
+  /// Parameter types of a function type (throws TypeError otherwise).
+  [[nodiscard]] std::vector<TypePtr> params() const;
+
+  /// Result type of a function type (throws TypeError otherwise).
+  [[nodiscard]] const TypePtr& result() const;
+
+  // Factories (scalar results are interned; Seq/Tuple/Fun are fresh nodes).
+  static TypePtr int_();
+  static TypePtr real();
+  static TypePtr bool_();
+  static TypePtr seq(TypePtr elem);
+  /// Seq^d(base): d nested Seq wrappers.
+  static TypePtr seq_n(TypePtr base, int d);
+  static TypePtr tuple(std::vector<TypePtr> components);
+  static TypePtr fun(std::vector<TypePtr> params, TypePtr result);
+
+ private:
+  Type(TypeKind kind, std::vector<TypePtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+  static TypePtr make(TypeKind kind, std::vector<TypePtr> children);
+
+  TypeKind kind_;
+  std::vector<TypePtr> children_;  // Seq: [elem]; Tuple: comps; Fun: params+result
+};
+
+/// Structural equality.
+[[nodiscard]] bool equal(const TypePtr& a, const TypePtr& b);
+
+/// Rendered form, e.g. "seq(seq(int))", "(int, bool)", "(int) -> int".
+[[nodiscard]] std::string to_string(const TypePtr& t);
+
+/// Number of Seq wrappers before a non-Seq type is reached.
+[[nodiscard]] int seq_depth(const TypePtr& t);
+
+/// The type under all Seq wrappers.
+[[nodiscard]] TypePtr seq_base(const TypePtr& t);
+
+}  // namespace proteus::lang

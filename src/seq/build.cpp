@@ -1,0 +1,97 @@
+#include "seq/build.hpp"
+
+#include <random>
+
+#include "vl/check.hpp"
+
+namespace proteus::seq {
+
+Array from_ints(const std::vector<Int>& values) {
+  return Array::ints(IntVec(values.begin(), values.end()));
+}
+
+Array from_ints2(const std::vector<std::vector<Int>>& values) {
+  IntVec lengths;
+  IntVec flat;
+  lengths.reserve(static_cast<Size>(values.size()));
+  for (const auto& seg : values) {
+    lengths.push_back(static_cast<Int>(seg.size()));
+    for (Int v : seg) flat.push_back(v);
+  }
+  return Array::nested(std::move(lengths), Array::ints(std::move(flat)));
+}
+
+Array from_ints3(const std::vector<std::vector<std::vector<Int>>>& values) {
+  IntVec top;
+  std::vector<std::vector<Int>> mid;
+  top.reserve(static_cast<Size>(values.size()));
+  for (const auto& seg : values) {
+    top.push_back(static_cast<Int>(seg.size()));
+    for (const auto& s : seg) mid.push_back(s);
+  }
+  return Array::nested(std::move(top), from_ints2(mid));
+}
+
+std::vector<std::vector<Int>> to_ints2(const Array& a) {
+  PROTEUS_REQUIRE(RepresentationError, a.kind() == Array::Kind::kNested,
+                  "to_ints2: expected a depth-2 array");
+  const IntVec& lens = a.lengths();
+  const IntVec& flat = a.inner().int_values();
+  std::vector<std::vector<Int>> out;
+  out.reserve(static_cast<std::size_t>(lens.size()));
+  Size pos = 0;
+  for (Size s = 0; s < lens.size(); ++s) {
+    std::vector<Int> seg;
+    seg.reserve(static_cast<std::size_t>(lens[s]));
+    for (Int k = 0; k < lens[s]; ++k) seg.push_back(flat[pos++]);
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+Array random_nested_ints(std::uint64_t seed, int depth, Size top_len,
+                         Size max_seg) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Int> seg_dist_(0, max_seg);
+  std::uniform_int_distribution<Int> val_dist(-1000, 1000);
+
+  // Build descriptor levels top-down, then fill the value vector.
+  Size count = top_len;
+  std::vector<IntVec> levels;
+  for (int level = 0; level < depth; ++level) {
+    IntVec lens(count);
+    Size next = 0;
+    for (Size i = 0; i < count; ++i) {
+      lens[i] = seg_dist_(rng);
+      next += lens[i];
+    }
+    levels.push_back(std::move(lens));
+    count = next;
+  }
+  IntVec values(count);
+  for (Size i = 0; i < count; ++i) values[i] = val_dist(rng);
+
+  Array a = Array::ints(std::move(values));
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    a = Array::nested(*it, std::move(a));
+  }
+  return a;
+}
+
+IntVec random_ints(std::uint64_t seed, Size n, Int lo, Int hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Int> dist(lo, hi);
+  IntVec out(n);
+  for (Size i = 0; i < n; ++i) out[i] = dist(rng);
+  return out;
+}
+
+BoolVec random_mask(std::uint64_t seed, Size n, int num, int den) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(0, den - 1);
+  BoolVec out(n);
+  for (Size i = 0; i < n; ++i) out[i] = Bool(dist(rng) < num ? 1 : 0);
+  return out;
+}
+
+}  // namespace proteus::seq

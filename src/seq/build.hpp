@@ -1,0 +1,39 @@
+// build.hpp — convenience constructors for nested-sequence Arrays: from
+// C++ containers (tests, examples) and from a seeded generator (property
+// tests and benches; deterministic so runs are reproducible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/nested.hpp"
+
+namespace proteus::seq {
+
+/// [v1, ..., vn] of Ints.
+[[nodiscard]] Array from_ints(const std::vector<Int>& values);
+
+/// [[..],[..],...] — depth-2 nested Ints.
+[[nodiscard]] Array from_ints2(const std::vector<std::vector<Int>>& values);
+
+/// Depth-3 nested Ints.
+[[nodiscard]] Array from_ints3(
+    const std::vector<std::vector<std::vector<Int>>>& values);
+
+/// Back-conversion for assertions.
+[[nodiscard]] std::vector<std::vector<Int>> to_ints2(const Array& a);
+
+/// Deterministic random nested Int array: `depth` nesting levels above the
+/// value vector (depth == 0 yields a flat vector), `top_len` elements at
+/// the top, segment lengths uniform in [0, max_seg].
+[[nodiscard]] Array random_nested_ints(std::uint64_t seed, int depth,
+                                       Size top_len, Size max_seg);
+
+/// Deterministic random flat Int vector with values in [lo, hi].
+[[nodiscard]] IntVec random_ints(std::uint64_t seed, Size n, Int lo, Int hi);
+
+/// Deterministic random mask with P(true) = num/den.
+[[nodiscard]] BoolVec random_mask(std::uint64_t seed, Size n, int num,
+                                  int den);
+
+}  // namespace proteus::seq

@@ -1,0 +1,58 @@
+#include "seq/extract_insert.hpp"
+
+#include <vector>
+
+#include "vl/check.hpp"
+
+namespace proteus::seq {
+
+Array extract(const Array& frame, int d) {
+  PROTEUS_REQUIRE(RepresentationError, d >= 0,
+                  "extract: negative flatten depth");
+  Array cur = frame;
+  for (int k = 0; k < d; ++k) {
+    PROTEUS_REQUIRE(RepresentationError, cur.kind() == Array::Kind::kNested,
+                    "extract: frame has fewer than " + std::to_string(d) +
+                        " nesting levels");
+    cur = cur.inner();
+  }
+  return cur;
+}
+
+Array insert(const Array& result, const Array& frame, int d) {
+  PROTEUS_REQUIRE(RepresentationError, d >= 0,
+                  "insert: negative nesting depth");
+  // Collect the top d descriptors of the frame.
+  std::vector<const IntVec*> descriptors;
+  descriptors.reserve(static_cast<std::size_t>(d));
+  const Array* cur = &frame;
+  for (int k = 0; k < d; ++k) {
+    PROTEUS_REQUIRE(RepresentationError, cur->kind() == Array::Kind::kNested,
+                    "insert: frame has fewer than " + std::to_string(d) +
+                        " nesting levels");
+    descriptors.push_back(&cur->lengths());
+    cur = &cur->inner();
+  }
+  PROTEUS_REQUIRE(RepresentationError, result.length() == cur->length(),
+                  "insert: result length " + std::to_string(result.length()) +
+                      " does not match frame element count " +
+                      std::to_string(cur->length()));
+  // Re-attach from the innermost descriptor outward.
+  Array wrapped = result;
+  for (auto it = descriptors.rbegin(); it != descriptors.rend(); ++it) {
+    wrapped = Array::nested(**it, wrapped);
+  }
+  return wrapped;
+}
+
+int spine_depth(const Array& a) {
+  int d = 0;
+  const Array* cur = &a;
+  while (cur->kind() == Array::Kind::kNested) {
+    ++d;
+    cur = &cur->inner();
+  }
+  return d;
+}
+
+}  // namespace proteus::seq

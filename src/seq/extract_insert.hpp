@@ -1,0 +1,31 @@
+// extract_insert.hpp — the representation manipulations of Figure 2.
+//
+// extract(V, d) flattens the top d nesting levels of a frame: in the
+// descriptor-stack picture it replaces the top d descriptors by the
+// singleton [sum(V_d)]; in this library's spine representation it simply
+// drops d Nested wrappers, sharing everything below — O(d), not O(data).
+//
+// insert(R, V, d) is the converse: it re-attaches the top d descriptors of
+// V onto R (discarding R's implicit top), requiring that R's length equal
+// the total element count of V at depth d. The paper's identity
+//     insert(extract(V, d), V, d) == V
+// is pinned by tests/seq/extract_insert_test.cpp.
+#pragma once
+
+#include "seq/nested.hpp"
+
+namespace proteus::seq {
+
+/// Flatten the top `d` nesting levels of `frame` (d == 0 is the identity).
+/// Throws RepresentationError when frame has fewer than d nesting levels.
+[[nodiscard]] Array extract(const Array& frame, int d);
+
+/// Wrap `result` in the top `d` descriptors of `frame`. Requires
+/// result.length() == extract(frame, d).length().
+[[nodiscard]] Array insert(const Array& result, const Array& frame, int d);
+
+/// Number of Nested wrappers on the spine above the element representation
+/// (the maximum d accepted by extract).
+[[nodiscard]] int spine_depth(const Array& a);
+
+}  // namespace proteus::seq

@@ -1,0 +1,276 @@
+#include "seq/nested.hpp"
+
+#include <sstream>
+
+#include "vl/check.hpp"
+#include "vl/segdesc.hpp"
+
+namespace proteus::seq {
+
+namespace {
+struct IntLeaf {
+  IntVec v;
+};
+struct RealLeaf {
+  RealVec v;
+};
+struct BoolLeaf {
+  BoolVec v;
+};
+struct TupleNode {
+  std::vector<Array> comps;
+};
+struct NestedNode {
+  IntVec lens;
+  Array elems;
+};
+}  // namespace
+
+struct Array::Node {
+  std::variant<IntLeaf, RealLeaf, BoolLeaf, TupleNode, NestedNode> alt;
+};
+
+Array Array::ints(IntVec values) {
+  return Array(std::make_shared<const Node>(Node{IntLeaf{std::move(values)}}));
+}
+
+Array Array::reals(RealVec values) {
+  return Array(std::make_shared<const Node>(Node{RealLeaf{std::move(values)}}));
+}
+
+Array Array::bools(BoolVec values) {
+  return Array(std::make_shared<const Node>(Node{BoolLeaf{std::move(values)}}));
+}
+
+Array Array::tuple(std::vector<Array> components) {
+  PROTEUS_REQUIRE(RepresentationError, !components.empty(),
+                  "tuple array needs at least one component");
+  const Size n = components.front().length();
+  for (const Array& c : components) {
+    PROTEUS_REQUIRE(RepresentationError, c.length() == n,
+                    "tuple array components must have equal length");
+  }
+  return Array(std::make_shared<const Node>(Node{TupleNode{std::move(components)}}));
+}
+
+Array Array::nested(IntVec lengths, Array inner) {
+  vl::require_descriptor(lengths, inner.length(), "Array::nested");
+  return Array(
+      std::make_shared<const Node>(Node{NestedNode{std::move(lengths), std::move(inner)}}));
+}
+
+Size Array::length() const {
+  return std::visit(
+      [](const auto& n) -> Size {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, IntLeaf> ||
+                      std::is_same_v<T, RealLeaf> ||
+                      std::is_same_v<T, BoolLeaf>) {
+          return n.v.size();
+        } else if constexpr (std::is_same_v<T, TupleNode>) {
+          return n.comps.front().length();
+        } else {
+          return n.lens.size();
+        }
+      },
+      node_->alt);
+}
+
+Array::Kind Array::kind() const {
+  return std::visit(
+      [](const auto& n) -> Kind {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, IntLeaf>) return Kind::kInt;
+        if constexpr (std::is_same_v<T, RealLeaf>) return Kind::kReal;
+        if constexpr (std::is_same_v<T, BoolLeaf>) return Kind::kBool;
+        if constexpr (std::is_same_v<T, TupleNode>) return Kind::kTuple;
+        if constexpr (std::is_same_v<T, NestedNode>) return Kind::kNested;
+      },
+      node_->alt);
+}
+
+int Array::element_depth() const {
+  if (kind() == Kind::kNested) return 1 + inner().element_depth();
+  return 0;
+}
+
+const IntVec& Array::int_values() const {
+  const auto* n = std::get_if<IntLeaf>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold Int scalars");
+  return n->v;
+}
+
+const RealVec& Array::real_values() const {
+  const auto* n = std::get_if<RealLeaf>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold Real scalars");
+  return n->v;
+}
+
+const BoolVec& Array::bool_values() const {
+  const auto* n = std::get_if<BoolLeaf>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold Bool scalars");
+  return n->v;
+}
+
+const std::vector<Array>& Array::components() const {
+  const auto* n = std::get_if<TupleNode>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold tuples");
+  return n->comps;
+}
+
+const IntVec& Array::lengths() const {
+  const auto* n = std::get_if<NestedNode>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold nested sequences");
+  return n->lens;
+}
+
+const Array& Array::inner() const {
+  const auto* n = std::get_if<NestedNode>(&node_->alt);
+  PROTEUS_REQUIRE(RepresentationError, n != nullptr,
+                  "array does not hold nested sequences");
+  return n->elems;
+}
+
+bool operator==(const Array& a, const Array& b) {
+  if (a.node_ == b.node_) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+      return a.int_values() == b.int_values();
+    case Array::Kind::kReal:
+      return a.real_values() == b.real_values();
+    case Array::Kind::kBool:
+      return a.bool_values() == b.bool_values();
+    case Array::Kind::kTuple:
+      return a.components() == b.components();
+    case Array::Kind::kNested:
+      return a.lengths() == b.lengths() && a.inner() == b.inner();
+  }
+  return false;
+}
+
+void Array::validate() const {
+  switch (kind()) {
+    case Kind::kInt:
+    case Kind::kReal:
+    case Kind::kBool:
+      return;
+    case Kind::kTuple: {
+      const auto& cs = components();
+      PROTEUS_REQUIRE(RepresentationError, !cs.empty(),
+                      "tuple array has no components");
+      for (const Array& c : cs) {
+        PROTEUS_REQUIRE(RepresentationError, c.length() == cs.front().length(),
+                        "tuple array components disagree on length");
+        c.validate();
+      }
+      return;
+    }
+    case Kind::kNested: {
+      vl::require_descriptor(lengths(), inner().length(), "Array::validate");
+      inner().validate();
+      return;
+    }
+  }
+}
+
+Size Array::leaf_count() const {
+  switch (kind()) {
+    case Kind::kInt:
+    case Kind::kReal:
+    case Kind::kBool:
+      return length();
+    case Kind::kTuple: {
+      Size total = 0;
+      for (const Array& c : components()) total += c.leaf_count();
+      return total;
+    }
+    case Kind::kNested:
+      return inner().leaf_count();
+  }
+  return 0;
+}
+
+std::vector<IntVec> descriptor_stack(const Array& a) {
+  std::vector<IntVec> stack;
+  stack.push_back(IntVec{a.length()});
+  const Array* cur = &a;
+  while (cur->kind() == Array::Kind::kNested) {
+    stack.push_back(cur->lengths());
+    cur = &cur->inner();
+  }
+  PROTEUS_REQUIRE(RepresentationError,
+                  cur->kind() == Array::Kind::kInt ||
+                      cur->kind() == Array::Kind::kReal ||
+                      cur->kind() == Array::Kind::kBool,
+                  "descriptor_stack: nesting spine interrupted by a tuple");
+  return stack;
+}
+
+const IntVec& leaf_int_values(const Array& a) {
+  const Array* cur = &a;
+  while (cur->kind() == Array::Kind::kNested) cur = &cur->inner();
+  return cur->int_values();
+}
+
+namespace {
+
+void render_range(const Array& a, Size lo, Size hi, std::ostream& os);
+
+void render_element(const Array& a, Size i, std::ostream& os) {
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+      os << a.int_values()[i];
+      return;
+    case Array::Kind::kReal:
+      os << a.real_values()[i];
+      return;
+    case Array::Kind::kBool:
+      os << (a.bool_values()[i] ? "true" : "false");
+      return;
+    case Array::Kind::kTuple: {
+      os << '(';
+      const auto& cs = a.components();
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        if (c > 0) os << ',';
+        render_element(cs[c], i, os);
+      }
+      os << ')';
+      return;
+    }
+    case Array::Kind::kNested: {
+      Size lo = 0;
+      for (Size s = 0; s < i; ++s) lo += a.lengths()[s];
+      render_range(a.inner(), lo, lo + a.lengths()[i], os);
+      return;
+    }
+  }
+}
+
+void render_range(const Array& a, Size lo, Size hi, std::ostream& os) {
+  os << '[';
+  for (Size i = lo; i < hi; ++i) {
+    if (i > lo) os << ',';
+    render_element(a, i, os);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string to_text(const Array& a) {
+  std::ostringstream os;
+  render_range(a, 0, a.length(), os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Array& a) {
+  return os << to_text(a);
+}
+
+}  // namespace proteus::seq

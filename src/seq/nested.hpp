@@ -1,0 +1,116 @@
+// nested.hpp — the vector representation of nested sequences (Section 4.1,
+// Figure 1 of the paper).
+//
+// An Array is the flat representation of *a sequence of elements*:
+//
+//   * scalar elements      -> one flat value vector (IntVec/RealVec/BoolVec)
+//   * tuple elements       -> one Array per component (structure-of-arrays;
+//                             this is why the paper notes k > d+1 vectors
+//                             when the element type is a tuple)
+//   * sequence elements    -> one descriptor (segment-length) vector plus
+//                             the Array of all inner elements, concatenated
+//
+// A depth-d nested sequence of scalars therefore carries exactly d-1
+// explicit descriptor vectors above one value vector; together with the
+// implicit singleton top descriptor [length()] this is precisely the
+// paper's stack V_1..V_d of descriptors over value vectors, with the
+// invariant  #V_{i+1} == sum(V_i)  enforced at construction.
+//
+// Arrays are immutable and structurally shared (shared_ptr spine): the
+// extract/insert operations of Figure 2 restructure only the descriptor
+// spine and share the value vectors, which is what makes the translation
+// rule T1 cheap (see bench_fig2_extract_insert).
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vl/vec.hpp"
+
+namespace proteus::seq {
+
+using vl::Bool;
+using vl::BoolVec;
+using vl::Int;
+using vl::IntVec;
+using vl::Real;
+using vl::RealVec;
+using vl::Size;
+
+/// Flat vector representation of a sequence of elements. Regular immutable
+/// value type; copies are O(1) (shared spine).
+class Array {
+ public:
+  enum class Kind : std::uint8_t { kInt, kReal, kBool, kTuple, kNested };
+
+  /// Sequence of Int scalars.
+  static Array ints(IntVec values);
+  /// Sequence of Real scalars.
+  static Array reals(RealVec values);
+  /// Sequence of Bool scalars.
+  static Array bools(BoolVec values);
+  /// Sequence of tuples, one component Array per tuple slot (all the same
+  /// length). At least one component is required.
+  static Array tuple(std::vector<Array> components);
+  /// Sequence of sequences: `lengths` partitions `inner` (sum(lengths) must
+  /// equal inner.length() — the paper's descriptor invariant).
+  static Array nested(IntVec lengths, Array inner);
+
+  /// Number of elements in the (top level of the) represented sequence.
+  [[nodiscard]] Size length() const;
+
+  [[nodiscard]] Kind kind() const;
+
+  /// Nesting depth of the *element* type: 0 for scalars and tuples, 1 +
+  /// depth(inner) for sequence elements.
+  [[nodiscard]] int element_depth() const;
+
+  // Accessors; each throws RepresentationError unless kind() matches.
+  [[nodiscard]] const IntVec& int_values() const;
+  [[nodiscard]] const RealVec& real_values() const;
+  [[nodiscard]] const BoolVec& bool_values() const;
+  [[nodiscard]] const std::vector<Array>& components() const;
+  [[nodiscard]] const IntVec& lengths() const;
+  [[nodiscard]] const Array& inner() const;
+
+  /// Deep structural equality (same kind, same descriptors, same values).
+  friend bool operator==(const Array& a, const Array& b);
+
+  /// Re-validates every descriptor invariant in the spine (used by failure-
+  /// injection tests; construction already enforces them).
+  void validate() const;
+
+  /// Total number of scalars stored in all value vectors beneath this node.
+  [[nodiscard]] Size leaf_count() const;
+
+  /// Identity of the underlying node; lets tests assert structural sharing
+  /// (e.g. that extract does not copy value vectors).
+  [[nodiscard]] const void* node_identity() const { return node_.get(); }
+
+ private:
+  struct Node;  // defined in nested.cpp (recursive through Array)
+
+  explicit Array(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// The explicit descriptor stack of Figure 1 for an Array whose elements
+/// are (possibly nested) scalars: result[0] is the singleton top descriptor
+/// [length()], result[i] the i-th level's segment lengths. Throws
+/// RepresentationError when a tuple interrupts the nesting spine.
+[[nodiscard]] std::vector<IntVec> descriptor_stack(const Array& a);
+
+/// The single value vector at the bottom of a pure nested-scalar Array.
+[[nodiscard]] const IntVec& leaf_int_values(const Array& a);
+
+/// Renders the represented sequence in P literal syntax, e.g.
+/// "[[2,7],[3,9,8]]".
+[[nodiscard]] std::string to_text(const Array& a);
+
+std::ostream& operator<<(std::ostream& os, const Array& a);
+
+}  // namespace proteus::seq

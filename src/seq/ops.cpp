@@ -1,0 +1,157 @@
+#include "seq/ops.hpp"
+
+#include "vl/vl.hpp"
+
+namespace proteus::seq {
+
+namespace {
+
+void require_same_structure(const Array& a, const Array& b, const char* op) {
+  PROTEUS_REQUIRE(RepresentationError, same_structure(a, b),
+                  std::string(op) + ": arrays have different element structure");
+}
+
+}  // namespace
+
+Array gather(const Array& a, const IntVec& idx) {
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+      return Array::ints(vl::gather(a.int_values(), idx));
+    case Array::Kind::kReal:
+      return Array::reals(vl::gather(a.real_values(), idx));
+    case Array::Kind::kBool:
+      return Array::bools(vl::gather(a.bool_values(), idx));
+    case Array::Kind::kTuple: {
+      std::vector<Array> comps;
+      comps.reserve(a.components().size());
+      for (const Array& c : a.components()) comps.push_back(gather(c, idx));
+      return Array::tuple(std::move(comps));
+    }
+    case Array::Kind::kNested: {
+      // Select whole segments: new descriptor, then expand per-segment
+      // start offsets to per-element source positions.
+      IntVec out_lens = vl::gather(a.lengths(), idx);
+      IntVec src_offsets = vl::lengths_to_offsets(a.lengths());
+      IntVec starts = vl::gather(src_offsets, idx);
+      IntVec base = vl::seg_dist(starts, out_lens);
+      IntVec ranks = vl::segment_ranks(out_lens);
+      IntVec positions = vl::add(base, vl::sub(ranks, Int{1}));
+      return Array::nested(std::move(out_lens), gather(a.inner(), positions));
+    }
+  }
+  throw RepresentationError("gather: corrupt array kind");
+}
+
+Array pack(const Array& a, const BoolVec& mask) {
+  PROTEUS_REQUIRE(VectorError, a.length() == mask.size(),
+                  "restrict: sequence and mask lengths differ");
+  return gather(a, vl::pack_indices(mask));
+}
+
+Array combine(const BoolVec& mask, const Array& t, const Array& f) {
+  require_same_structure(t, f, "combine");
+  PROTEUS_REQUIRE(VectorError, mask.size() == t.length() + f.length(),
+                  "combine: #M must equal #V + #U");
+  // Source index into concat(t, f): true positions take the i-th true
+  // element of t, false positions the i-th false element of f.
+  IntVec ones(mask.size());
+  Int* op = ones.data();
+  for (Size i = 0; i < mask.size(); ++i) op[i] = mask[i] ? 1 : 0;
+  IntVec true_rank = vl::scan_add(ones);  // #true before i
+  IntVec pos(mask.size());
+  Int* pp = pos.data();
+  const Int* tr = true_rank.data();
+  for (Size i = 0; i < mask.size(); ++i) {
+    pp[i] = mask[i] ? tr[i] : t.length() + (i - tr[i]);
+  }
+  vl::stats().record(mask.size());
+  return gather(concat(t, f), pos);
+}
+
+Array concat(const Array& a, const Array& b) {
+  require_same_structure(a, b, "concat");
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+      return Array::ints(vl::concat(a.int_values(), b.int_values()));
+    case Array::Kind::kReal:
+      return Array::reals(vl::concat(a.real_values(), b.real_values()));
+    case Array::Kind::kBool:
+      return Array::bools(vl::concat(a.bool_values(), b.bool_values()));
+    case Array::Kind::kTuple: {
+      std::vector<Array> comps;
+      comps.reserve(a.components().size());
+      for (std::size_t c = 0; c < a.components().size(); ++c) {
+        comps.push_back(concat(a.components()[c], b.components()[c]));
+      }
+      return Array::tuple(std::move(comps));
+    }
+    case Array::Kind::kNested:
+      return Array::nested(vl::concat(a.lengths(), b.lengths()),
+                           concat(a.inner(), b.inner()));
+  }
+  throw RepresentationError("concat: corrupt array kind");
+}
+
+Array empty_like(const Array& a) {
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+      return Array::ints(IntVec{});
+    case Array::Kind::kReal:
+      return Array::reals(RealVec{});
+    case Array::Kind::kBool:
+      return Array::bools(BoolVec{});
+    case Array::Kind::kTuple: {
+      std::vector<Array> comps;
+      comps.reserve(a.components().size());
+      for (const Array& c : a.components()) comps.push_back(empty_like(c));
+      return Array::tuple(std::move(comps));
+    }
+    case Array::Kind::kNested:
+      return Array::nested(IntVec{}, empty_like(a.inner()));
+  }
+  throw RepresentationError("empty_like: corrupt array kind");
+}
+
+Array broadcast_element(const Array& a, Size i, Size n) {
+  PROTEUS_REQUIRE(VectorError, i >= 0 && i < a.length(),
+                  "broadcast_element: index out of range");
+  return gather(a, vl::dist(Int{i}, n));
+}
+
+Array seg_broadcast(const Array& a, const IntVec& counts) {
+  PROTEUS_REQUIRE(VectorError, a.length() == counts.size(),
+                  "dist: value and count sequences must have equal length");
+  return gather(a, vl::seg_dist(vl::iota(a.length(), 0), counts));
+}
+
+Array element(const Array& a, Size i) { return broadcast_element(a, i, 1); }
+
+Array slice(const Array& a, Size lo, Size len) {
+  PROTEUS_REQUIRE(VectorError, lo >= 0 && len >= 0 && lo + len <= a.length(),
+                  "slice: range out of bounds");
+  return gather(a, vl::iota(len, lo));
+}
+
+bool same_structure(const Array& a, const Array& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Array::Kind::kInt:
+    case Array::Kind::kReal:
+    case Array::Kind::kBool:
+      return true;
+    case Array::Kind::kTuple: {
+      if (a.components().size() != b.components().size()) return false;
+      for (std::size_t c = 0; c < a.components().size(); ++c) {
+        if (!same_structure(a.components()[c], b.components()[c])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Array::Kind::kNested:
+      return same_structure(a.inner(), b.inner());
+  }
+  return false;
+}
+
+}  // namespace proteus::seq

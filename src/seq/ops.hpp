@@ -1,0 +1,51 @@
+// ops.hpp — structural kernels on the vector representation.
+//
+// Each operation here lifts a flat vl primitive through the element
+// structure of an Array: scalar leaves run the vl kernel once, tuple
+// elements run it per component, and sequence elements run it on the
+// descriptor and recurse on the inner elements with an index/mask vector
+// expanded through the descriptor. Everything is expressed in terms of the
+// vector model's own primitives (gather, scan, pack, distribute), so the
+// work counted by vl::stats() is exactly the vector-model work.
+#pragma once
+
+#include "seq/nested.hpp"
+
+namespace proteus::seq {
+
+/// out[i] = a[idx[i]] (0-origin element selection; duplicates allowed).
+[[nodiscard]] Array gather(const Array& a, const IntVec& idx);
+
+/// Elements of `a` at the true positions of `mask` — the paper's
+/// restrict(V, M) on the representation.
+[[nodiscard]] Array pack(const Array& a, const BoolVec& mask);
+
+/// The paper's combine(M, V, U): #mask == t.length() + f.length();
+/// result takes from `t` at true positions and `f` at false positions.
+[[nodiscard]] Array combine(const BoolVec& mask, const Array& t,
+                            const Array& f);
+
+/// Concatenation of two conformable (same element structure) arrays.
+[[nodiscard]] Array concat(const Array& a, const Array& b);
+
+/// The empty array with the same element structure as `a` (rule R2d's
+/// empty_frame on representations).
+[[nodiscard]] Array empty_like(const Array& a);
+
+/// n copies of element i of `a` — dist(c, n) for a non-scalar c.
+[[nodiscard]] Array broadcast_element(const Array& a, Size i, Size n);
+
+/// dist^1: element i of `a` replicated counts[i] times, concatenated.
+[[nodiscard]] Array seg_broadcast(const Array& a, const IntVec& counts);
+
+/// Single element i of `a` as a one-element array.
+[[nodiscard]] Array element(const Array& a, Size i);
+
+/// Elements [lo, lo+len) of `a`.
+[[nodiscard]] Array slice(const Array& a, Size lo, Size len);
+
+/// Structural conformability (same kinds/arity at every level); value
+/// lengths are not compared.
+[[nodiscard]] bool same_structure(const Array& a, const Array& b);
+
+}  // namespace proteus::seq

@@ -1,0 +1,8 @@
+// seq.hpp — umbrella header for the nested-sequence representation layer
+// (Sections 4.1 and 4.2 of the paper).
+#pragma once
+
+#include "seq/build.hpp"
+#include "seq/extract_insert.hpp"
+#include "seq/nested.hpp"
+#include "seq/ops.hpp"

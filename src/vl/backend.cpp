@@ -1,0 +1,45 @@
+#include "vl/backend.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace proteus::vl {
+
+namespace {
+Backend g_backend = Backend::kSerial;
+VectorStats g_stats;
+}  // namespace
+
+Backend backend() noexcept { return g_backend; }
+
+Backend set_backend(Backend b) noexcept {
+  Backend prev = g_backend;
+  if (b == Backend::kOpenMP && !openmp_available()) {
+    b = Backend::kSerial;
+  }
+  g_backend = b;
+  return prev;
+}
+
+bool openmp_available() noexcept {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+int backend_threads() noexcept {
+#ifdef _OPENMP
+  return backend() == Backend::kOpenMP ? omp_get_max_threads() : 1;
+#else
+  return 1;
+#endif
+}
+
+VectorStats& stats() noexcept { return g_stats; }
+
+void reset_stats() noexcept { g_stats = VectorStats{}; }
+
+}  // namespace proteus::vl

@@ -1,0 +1,73 @@
+// backend.hpp — execution policy for the flat vector library.
+//
+// The vector model is machine independent; this library ships two
+// realizations of each kernel family:
+//
+//   * Serial  — a plain loop; the reference implementation and the natural
+//               choice for the "sequential execution" measurements of the
+//               paper's Section 6.
+//   * OpenMP  — a work-partitioned loop (blocked two-pass algorithms for
+//               scans); stands in for the SIMD/vector machines CVL targeted.
+//
+// The active backend is a process-global setting (kernels are pure, so the
+// choice only affects performance, never results). Per-call work counters
+// feed the machine-independent work/step measurements that Proteus
+// prototyping is about.
+#pragma once
+
+#include <cstdint>
+
+#include "vl/vec.hpp"
+
+namespace proteus::vl {
+
+enum class Backend : std::uint8_t {
+  kSerial,
+  kOpenMP,
+};
+
+/// Returns the process-global backend (defaults to Serial).
+[[nodiscard]] Backend backend() noexcept;
+
+/// Sets the process-global backend. Returns the previous value.
+Backend set_backend(Backend b) noexcept;
+
+/// True when this build can actually run the OpenMP backend.
+[[nodiscard]] bool openmp_available() noexcept;
+
+/// Number of threads the OpenMP backend would use (1 for Serial builds).
+[[nodiscard]] int backend_threads() noexcept;
+
+/// RAII guard that switches the backend for a scope.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Backend b) : previous_(set_backend(b)) {}
+  ~BackendGuard() { set_backend(previous_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+/// Vector-model cost counters (Blelloch's work/step accounting): every
+/// primitive adds its element count to `work` and one to `steps`.
+struct VectorStats {
+  std::uint64_t primitive_calls = 0;  ///< number of vector primitives issued
+  std::uint64_t element_work = 0;     ///< total elements touched (work)
+
+  void record(Size elements) noexcept {
+    primitive_calls += 1;
+    element_work += static_cast<std::uint64_t>(elements);
+  }
+};
+
+/// Process-global stats, reset/read around a region of interest.
+[[nodiscard]] VectorStats& stats() noexcept;
+void reset_stats() noexcept;
+
+/// Minimum vector length before the OpenMP backend forks threads;
+/// shorter vectors run the serial loop regardless of backend.
+inline constexpr Size kParallelGrain = 4096;
+
+}  // namespace proteus::vl

@@ -1,0 +1,15 @@
+#include "vl/check.hpp"
+
+#include <sstream>
+
+namespace proteus::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal " << kind << " failure at " << file << ":" << line << ": "
+     << msg << " [" << expr << "]";
+  throw Error(os.str());
+}
+
+}  // namespace proteus::detail

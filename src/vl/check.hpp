@@ -1,0 +1,91 @@
+// check.hpp — error types and invariant-checking macros shared by every
+// layer of proteus-vec.
+//
+// The library reports all recoverable failures as exceptions derived from
+// proteus::Error so callers can distinguish the layer that failed:
+//
+//   Error                    base of everything
+//   |- VectorError           flat vector-library misuse (vl)
+//   |- RepresentationError   inconsistent nested-sequence descriptors (seq)
+//   |- SyntaxError           lexing / parsing failures (lang)
+//   |- TypeError             static type-checking failures (lang)
+//   |- TransformError        iterator-elimination failures (xform)
+//   |- EvalError             runtime failures in either engine (interp/exec)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace proteus {
+
+/// Base class for every error raised by the proteus-vec library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Misuse of the flat vector library (length mismatch, bad index vector...).
+class VectorError : public Error {
+ public:
+  explicit VectorError(const std::string& what) : Error(what) {}
+};
+
+/// Violation of the nested-sequence representation invariants (Section 4.1).
+class RepresentationError : public Error {
+ public:
+  explicit RepresentationError(const std::string& what) : Error(what) {}
+};
+
+/// Lexical or grammatical error in a P source text.
+class SyntaxError : public Error {
+ public:
+  explicit SyntaxError(const std::string& what) : Error(what) {}
+};
+
+/// Static typing error in a P program.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error(what) {}
+};
+
+/// Failure while applying the transformation rules of Section 3/4.
+class TransformError : public Error {
+ public:
+  explicit TransformError(const std::string& what) : Error(what) {}
+};
+
+/// Runtime evaluation error (index out of range, division by zero, ...).
+class EvalError : public Error {
+ public:
+  explicit EvalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace proteus
+
+/// PROTEUS_REQUIRE(ExceptionType, condition, message)
+/// Throws `ExceptionType` describing `condition` when it does not hold.
+/// Used for argument validation that must stay active in release builds.
+#define PROTEUS_REQUIRE(Exc, cond, msg)                       \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      throw Exc(std::string(msg) + " [failed: " #cond "]");   \
+    }                                                         \
+  } while (0)
+
+/// PROTEUS_ASSERT(condition, message) — internal invariant; always active
+/// (the library is a research artifact: we prefer loud failure to silent
+/// corruption), reported as proteus::Error.
+#define PROTEUS_ASSERT(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::proteus::detail::throw_check_failure("assertion", #cond, __FILE__, \
+                                             __LINE__, (msg));             \
+    }                                                                      \
+  } while (0)

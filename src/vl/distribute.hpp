@@ -1,0 +1,52 @@
+// distribute.hpp — replication and index-generation primitives.
+//
+// These realize the two functions the paper singles out in Section 3 as
+// sufficient (together with their parallel extensions) to rebuild every
+// bound-variable reference inside nested iterators:
+//
+//   range1(n)   = [1..n]                 -> iota1
+//   dist(c, r)  = [i <- [1..r]: c]       -> dist
+//   range1^1    = segmented iota          -> seg_iota1
+//   dist^1      = segmented distribute    -> seg_dist
+#pragma once
+
+#include "vl/vec.hpp"
+
+namespace proteus::vl {
+
+namespace detail {
+template <typename T>
+Vec<T> dist_impl(T value, Size n);
+
+template <typename T>
+Vec<T> seg_dist_impl(const Vec<T>& values, const IntVec& counts);
+}  // namespace detail
+
+/// [start, start+1, ..., start+n-1]
+[[nodiscard]] IntVec iota(Size n, Int start);
+
+/// range1(n) = [1..n]; n < 0 yields the empty sequence (as does [1..0]).
+[[nodiscard]] IntVec iota1(Int n);
+
+/// range1^1: concatenated [1..counts[0]], [1..counts[1]], ... The result's
+/// descriptor is `counts` itself.
+[[nodiscard]] IntVec seg_iota1(const IntVec& counts);
+
+/// dist(c, n): n copies of the scalar c.
+template <typename T>
+Vec<T> dist(T value, Size n) {
+  return detail::dist_impl(value, n);
+}
+
+/// dist^1: values[i] replicated counts[i] times, concatenated. The result's
+/// descriptor is `counts`.
+template <typename T>
+Vec<T> seg_dist(const Vec<T>& values, const IntVec& counts) {
+  return detail::seg_dist_impl(values, counts);
+}
+
+/// General range with step ([e1..e2] of P is range(e1, e2, 1)); empty when
+/// the step moves away from `hi`.
+[[nodiscard]] IntVec range(Int lo, Int hi, Int step);
+
+}  // namespace proteus::vl

@@ -1,0 +1,9 @@
+#include "vl/elementwise.hpp"
+
+namespace proteus::vl::detail {
+
+void throw_div_by_zero() { throw EvalError("division by zero"); }
+
+void throw_mod_by_zero() { throw EvalError("mod by zero"); }
+
+}  // namespace proteus::vl::detail

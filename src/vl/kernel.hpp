@@ -1,0 +1,68 @@
+// kernel.hpp — loop-dispatch helpers shared by the vl kernels.
+//
+// Every data-parallel kernel in the library funnels through parallel_for /
+// parallel_reduce so the Serial/OpenMP policy decision lives in exactly one
+// place. Bodies must be data-race free across iterations (each iteration
+// owns its output slot); kernels with cross-iteration dependences (scans)
+// implement their own blocked two-pass algorithms on top of these.
+#pragma once
+
+#include <utility>
+
+#include "vl/backend.hpp"
+#include "vl/vec.hpp"
+
+namespace proteus::vl::detail {
+
+/// True when the current policy wants a threaded loop of `n` iterations.
+[[nodiscard]] inline bool use_threads(Size n) noexcept {
+  return backend() == Backend::kOpenMP && n >= kParallelGrain &&
+         openmp_available();
+}
+
+/// Run body(i) for i in [0, n), partitioned across threads when the OpenMP
+/// backend is active and the trip count is worth it.
+template <typename F>
+void parallel_for(Size n, F&& body) {
+#ifdef _OPENMP
+  if (use_threads(n)) {
+#pragma omp parallel for schedule(static)
+    for (Size i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+#endif
+  for (Size i = 0; i < n; ++i) {
+    body(i);
+  }
+}
+
+/// Tree-reduce acc = combine(acc, leaf(i)) over i in [0, n) starting from
+/// `init`. `combine` must be associative and commutative.
+template <typename T, typename Leaf, typename Combine>
+T parallel_reduce(Size n, T init, Leaf&& leaf, Combine&& combine) {
+#ifdef _OPENMP
+  if (use_threads(n)) {
+    T acc = init;
+#pragma omp parallel
+    {
+      T local = init;
+#pragma omp for schedule(static) nowait
+      for (Size i = 0; i < n; ++i) {
+        local = combine(local, leaf(i));
+      }
+#pragma omp critical
+      acc = combine(acc, local);
+    }
+    return acc;
+  }
+#endif
+  T acc = init;
+  for (Size i = 0; i < n; ++i) {
+    acc = combine(acc, leaf(i));
+  }
+  return acc;
+}
+
+}  // namespace proteus::vl::detail

@@ -1,0 +1,118 @@
+#include "vl/pack.hpp"
+
+#include "vl/kernel.hpp"
+#include "vl/reduce.hpp"
+#include "vl/scan.hpp"
+#include "vl/segdesc.hpp"
+
+namespace proteus::vl {
+
+namespace detail {
+
+namespace {
+
+/// Exclusive scan of the mask interpreted as 0/1 counts: destination slot
+/// of each surviving element, plus the survivor count.
+IntVec mask_offsets(const BoolVec& mask, Size* survivors) {
+  IntVec counts(mask.size());
+  const Bool* mp = mask.data();
+  Int* cp = counts.data();
+  parallel_for(mask.size(), [&](Size i) { cp[i] = mp[i] ? 1 : 0; });
+  Int total = 0;
+  IntVec offsets = scan_add_total(counts, total);
+  *survivors = total;
+  return offsets;
+}
+
+}  // namespace
+
+template <typename T>
+Vec<T> pack_impl(const Vec<T>& values, const BoolVec& mask) {
+  require_same_length(values, mask, "restrict");
+  Size survivors = 0;
+  IntVec offsets = mask_offsets(mask, &survivors);
+  Vec<T> out(survivors);
+  const T* vp = values.data();
+  const Bool* mp = mask.data();
+  const Int* op_ = offsets.data();
+  T* rp = out.data();
+  parallel_for(values.size(), [&](Size i) {
+    if (mp[i]) rp[op_[i]] = vp[i];
+  });
+  stats().record(values.size());
+  return out;
+}
+
+template <typename T>
+Vec<T> combine_impl(const BoolVec& mask, const Vec<T>& when_true,
+                    const Vec<T>& when_false) {
+  PROTEUS_REQUIRE(VectorError,
+                  mask.size() == when_true.size() + when_false.size(),
+                  "combine: #M must equal #V + #U");
+  Size survivors = 0;
+  IntVec offsets = mask_offsets(mask, &survivors);
+  PROTEUS_REQUIRE(VectorError, survivors == when_true.size(),
+                  "combine: mask true-count does not match #V");
+  Vec<T> out(mask.size());
+  const Bool* mp = mask.data();
+  const Int* op_ = offsets.data();
+  const T* tp = when_true.data();
+  const T* fp = when_false.data();
+  T* rp = out.data();
+  parallel_for(mask.size(), [&](Size i) {
+    // Element i comes from when_true if mask[i], indexed by the number of
+    // true positions before i; otherwise from when_false, indexed by the
+    // number of false positions before i.
+    rp[i] = mp[i] ? tp[op_[i]] : fp[i - op_[i]];
+  });
+  stats().record(mask.size());
+  return out;
+}
+
+template IntVec pack_impl<Int>(const IntVec&, const BoolVec&);
+template RealVec pack_impl<Real>(const RealVec&, const BoolVec&);
+template BoolVec pack_impl<Bool>(const BoolVec&, const BoolVec&);
+template IntVec combine_impl<Int>(const BoolVec&, const IntVec&,
+                                  const IntVec&);
+template RealVec combine_impl<Real>(const BoolVec&, const RealVec&,
+                                    const RealVec&);
+template BoolVec combine_impl<Bool>(const BoolVec&, const BoolVec&,
+                                    const BoolVec&);
+
+}  // namespace detail
+
+IntVec pack_indices(const BoolVec& mask) {
+  IntVec all(mask.size());
+  Int* p = all.data();
+  detail::parallel_for(mask.size(), [&](Size i) { p[i] = i; });
+  stats().record(mask.size());
+  return pack(all, mask);
+}
+
+IntVec seg_pack_lengths(const IntVec& seg_lengths, const BoolVec& mask) {
+  require_descriptor(seg_lengths, mask.size(), "seg_pack_lengths");
+  IntVec counts(mask.size());
+  const Bool* mp = mask.data();
+  Int* cp = counts.data();
+  detail::parallel_for(mask.size(), [&](Size i) { cp[i] = mp[i] ? 1 : 0; });
+  stats().record(mask.size());
+  return seg_reduce_add(counts, seg_lengths);
+}
+
+template <typename T>
+Vec<T> concat(const Vec<T>& a, const Vec<T>& b) {
+  Vec<T> out(a.size() + b.size());
+  const T* ap = a.data();
+  const T* bp = b.data();
+  T* op = out.data();
+  detail::parallel_for(a.size(), [&](Size i) { op[i] = ap[i]; });
+  detail::parallel_for(b.size(), [&](Size i) { op[a.size() + i] = bp[i]; });
+  stats().record(out.size());
+  return out;
+}
+
+template IntVec concat<Int>(const IntVec&, const IntVec&);
+template RealVec concat<Real>(const RealVec&, const RealVec&);
+template BoolVec concat<Bool>(const BoolVec&, const BoolVec&);
+
+}  // namespace proteus::vl

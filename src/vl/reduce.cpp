@@ -1,0 +1,93 @@
+#include "vl/reduce.hpp"
+
+#include "vl/kernel.hpp"
+
+namespace proteus::vl {
+
+namespace detail {
+
+template <typename T, typename Op>
+T reduce_impl(const Vec<T>& v) {
+  const T* p = v.data();
+  T acc = parallel_reduce(
+      v.size(), Op::identity(), [&](Size i) { return p[i]; },
+      [](T a, T b) { return Op::combine(a, b); });
+  stats().record(v.size());
+  return acc;
+}
+
+template <typename T, typename Op>
+Vec<T> seg_reduce_impl(const Vec<T>& v, const IntVec& seg_lengths) {
+  require_segments_cover(v.size(), seg_lengths, "seg_reduce");
+  const Size nseg = seg_lengths.size();
+  Vec<T> out(nseg);
+  const T* ip = v.data();
+  T* op = out.data();
+
+  IntVec offsets(nseg);
+  Int run = 0;
+  for (Size s = 0; s < nseg; ++s) {
+    offsets.data()[s] = run;
+    run += seg_lengths.data()[s];
+  }
+
+  parallel_for(nseg, [&](Size s) {
+    const Size lo = offsets.data()[s];
+    const Size hi = lo + seg_lengths.data()[s];
+    T acc = Op::identity();
+    for (Size i = lo; i < hi; ++i) acc = Op::combine(acc, ip[i]);
+    op[s] = acc;
+  });
+  stats().record(v.size());
+  return out;
+}
+
+template Int reduce_impl<Int, AddOp<Int>>(const IntVec&);
+template Int reduce_impl<Int, MaxOp<Int>>(const IntVec&);
+template Int reduce_impl<Int, MinOp<Int>>(const IntVec&);
+template Real reduce_impl<Real, AddOp<Real>>(const RealVec&);
+template Real reduce_impl<Real, MaxOp<Real>>(const RealVec&);
+template Real reduce_impl<Real, MinOp<Real>>(const RealVec&);
+
+template IntVec seg_reduce_impl<Int, AddOp<Int>>(const IntVec&, const IntVec&);
+template IntVec seg_reduce_impl<Int, MaxOp<Int>>(const IntVec&, const IntVec&);
+template IntVec seg_reduce_impl<Int, MinOp<Int>>(const IntVec&, const IntVec&);
+template RealVec seg_reduce_impl<Real, AddOp<Real>>(const RealVec&,
+                                                    const IntVec&);
+template RealVec seg_reduce_impl<Real, MaxOp<Real>>(const RealVec&,
+                                                    const IntVec&);
+template RealVec seg_reduce_impl<Real, MinOp<Real>>(const RealVec&,
+                                                    const IntVec&);
+
+}  // namespace detail
+
+Bool reduce_or(const BoolVec& v) {
+  return detail::reduce_impl<Bool, detail::OrOp>(v);
+}
+
+Bool reduce_and(const BoolVec& v) {
+  return detail::reduce_impl<Bool, detail::AndOp>(v);
+}
+
+bool any(const BoolVec& m) { return reduce_or(m) != 0; }
+
+bool all(const BoolVec& m) { return reduce_and(m) != 0; }
+
+Size count(const BoolVec& m) {
+  const Bool* p = m.data();
+  Size c = detail::parallel_reduce(
+      m.size(), Size{0}, [&](Size i) { return Size(p[i] ? 1 : 0); },
+      [](Size a, Size b) { return a + b; });
+  stats().record(m.size());
+  return c;
+}
+
+BoolVec seg_reduce_or(const BoolVec& v, const IntVec& seg_lengths) {
+  return detail::seg_reduce_impl<Bool, detail::OrOp>(v, seg_lengths);
+}
+
+BoolVec seg_reduce_and(const BoolVec& v, const IntVec& seg_lengths) {
+  return detail::seg_reduce_impl<Bool, detail::AndOp>(v, seg_lengths);
+}
+
+}  // namespace proteus::vl

@@ -1,0 +1,72 @@
+// reduce.hpp — reductions and segmented reductions.
+//
+// reduce_* collapse a whole vector to one scalar; seg_reduce_* produce one
+// result per segment of a descriptor vector. The segmented forms are how a
+// single vector primitive performs "one reduction per subsequence" of a
+// nested sequence — the higher-order `reduce` of the source language P
+// lowers to these when its argument function is a known primitive, and to
+// the flattened user function otherwise.
+#pragma once
+
+#include "vl/scan.hpp"
+#include "vl/vec.hpp"
+
+namespace proteus::vl {
+
+namespace detail {
+
+template <typename T, typename Op>
+T reduce_impl(const Vec<T>& v);
+
+template <typename T, typename Op>
+Vec<T> seg_reduce_impl(const Vec<T>& v, const IntVec& seg_lengths);
+
+}  // namespace detail
+
+template <typename T>
+T reduce_add(const Vec<T>& v) {
+  return detail::reduce_impl<T, detail::AddOp<T>>(v);
+}
+
+/// Max over the vector; identity (numeric lowest) on an empty vector.
+template <typename T>
+T reduce_max(const Vec<T>& v) {
+  return detail::reduce_impl<T, detail::MaxOp<T>>(v);
+}
+
+/// Min over the vector; identity (numeric max) on an empty vector.
+template <typename T>
+T reduce_min(const Vec<T>& v) {
+  return detail::reduce_impl<T, detail::MinOp<T>>(v);
+}
+
+Bool reduce_or(const BoolVec& v);
+Bool reduce_and(const BoolVec& v);
+
+/// True when any element of a mask is set. Zero-cost alias used by the
+/// empty-frame guards of rule R2d.
+[[nodiscard]] bool any(const BoolVec& m);
+[[nodiscard]] bool all(const BoolVec& m);
+
+/// Number of set elements of a mask (the length of pack(v, m)).
+[[nodiscard]] Size count(const BoolVec& m);
+
+template <typename T>
+Vec<T> seg_reduce_add(const Vec<T>& v, const IntVec& seg_lengths) {
+  return detail::seg_reduce_impl<T, detail::AddOp<T>>(v, seg_lengths);
+}
+
+template <typename T>
+Vec<T> seg_reduce_max(const Vec<T>& v, const IntVec& seg_lengths) {
+  return detail::seg_reduce_impl<T, detail::MaxOp<T>>(v, seg_lengths);
+}
+
+template <typename T>
+Vec<T> seg_reduce_min(const Vec<T>& v, const IntVec& seg_lengths) {
+  return detail::seg_reduce_impl<T, detail::MinOp<T>>(v, seg_lengths);
+}
+
+BoolVec seg_reduce_or(const BoolVec& v, const IntVec& seg_lengths);
+BoolVec seg_reduce_and(const BoolVec& v, const IntVec& seg_lengths);
+
+}  // namespace proteus::vl

@@ -1,0 +1,43 @@
+// segdesc.hpp — conversions between segment-descriptor encodings.
+//
+// A descriptor vector (Section 4.1 of the paper) stores the *lengths* of
+// consecutive segments of the vector one level below. Kernels variously
+// want that information as lengths, as exclusive start offsets, as
+// head-flags, or as a per-element segment id; these conversions are each a
+// single scan/permute-class primitive.
+#pragma once
+
+#include "vl/vec.hpp"
+
+namespace proteus::vl {
+
+/// Exclusive +-scan of lengths: start offset of each segment.
+[[nodiscard]] IntVec lengths_to_offsets(const IntVec& lengths);
+
+/// Total number of elements described (sum of lengths).
+[[nodiscard]] Size lengths_total(const IntVec& lengths);
+
+/// offsets (with `total` elements overall) -> lengths.
+[[nodiscard]] IntVec offsets_to_lengths(const IntVec& offsets, Size total);
+
+/// Head-flag vector: flag[i] == 1 iff position i starts a segment.
+/// Zero-length segments are *not representable* as flags; throws
+/// VectorError when one is present (this is why the representation of the
+/// paper stores lengths, not flags).
+[[nodiscard]] BoolVec lengths_to_flags(const IntVec& lengths, Size total);
+
+/// flags -> lengths (the first element, if any, must start a segment).
+[[nodiscard]] IntVec flags_to_lengths(const BoolVec& flags);
+
+/// Per-element segment index: out[i] = s iff element i lies in segment s.
+[[nodiscard]] IntVec segment_ids(const IntVec& lengths);
+
+/// Per-element position within its segment, counting from 1 (the index
+/// origin of P). This is exactly range1^1 on the descriptor.
+[[nodiscard]] IntVec segment_ranks(const IntVec& lengths);
+
+/// Validates that `lengths` is a well-formed descriptor over `total`
+/// elements (all lengths non-negative, sum == total).
+void require_descriptor(const IntVec& lengths, Size total, const char* op);
+
+}  // namespace proteus::vl

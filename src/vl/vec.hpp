@@ -1,0 +1,130 @@
+// vec.hpp — the flat vector type of the vector model V.
+//
+// A Vec<T> is the only aggregate the vector model knows about: a dense,
+// contiguous, one-dimensional array of scalars. Every primitive of the
+// library (elementwise maps, scans, reductions, permutations, packs,
+// distributes and their segmented variants) consumes and produces Vec<T>.
+// Nested sequences of the source language P are *represented* as stacks of
+// these flat vectors (see seq/nested.hpp), never as pointer structures.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "vl/check.hpp"
+
+namespace proteus::vl {
+
+/// Scalar carrier types of the vector model. `Bool` is a byte, as in CVL,
+/// so boolean vectors support the same kernels as integer vectors.
+using Int = std::int64_t;
+using Real = double;
+using Bool = std::uint8_t;
+
+/// Index type used for lengths and positions. Signed (per the C++ Core
+/// Guidelines arithmetic rules) so length arithmetic cannot wrap silently.
+using Size = std::int64_t;
+
+/// Dense one-dimensional vector of scalars; the sole aggregate of V.
+///
+/// Vec is a regular value type: copyable, movable, equality-comparable.
+/// Element access through operator[] is bounds-checked (loud failure is
+/// preferred over silent corruption in a research artifact); kernels that
+/// have already validated their inputs iterate over data() spans instead.
+template <typename T>
+class Vec {
+ public:
+  using value_type = T;
+
+  Vec() = default;
+
+  /// Uninitialized-by-default construction of `n` zero elements.
+  explicit Vec(Size n) : data_(check_size(n)) {}
+
+  Vec(Size n, T fill) : data_(check_size(n), fill) {}
+
+  Vec(std::initializer_list<T> init) : data_(init) {}
+
+  explicit Vec(std::vector<T> v) : data_(std::move(v)) {}
+
+  template <typename It>
+  Vec(It first, It last) : data_(first, last) {}
+
+  [[nodiscard]] Size size() const { return static_cast<Size>(data_.size()); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T operator[](Size i) const {
+    PROTEUS_REQUIRE(VectorError, i >= 0 && i < size(),
+                    "vector index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] T& operator[](Size i) {
+    PROTEUS_REQUIRE(VectorError, i >= 0 && i < size(),
+                    "vector index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Unchecked access for validated kernels.
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] T* data() { return data_.data(); }
+
+  [[nodiscard]] std::span<const T> span() const { return {data_}; }
+  [[nodiscard]] std::span<T> span() { return {data_}; }
+
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+
+  void push_back(T v) { data_.push_back(v); }
+  void reserve(Size n) { data_.reserve(check_size(n)); }
+  void resize(Size n) { data_.resize(check_size(n)); }
+
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+
+  friend bool operator==(const Vec&, const Vec&) = default;
+
+ private:
+  static std::size_t check_size(Size n) {
+    PROTEUS_REQUIRE(VectorError, n >= 0, "vector size must be non-negative");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<T> data_;
+};
+
+using IntVec = Vec<Int>;
+using RealVec = Vec<Real>;
+using BoolVec = Vec<Bool>;
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec<T>& v) {
+  os << '[';
+  for (Size i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    if constexpr (std::is_same_v<T, Bool>) {
+      os << (v[i] ? 'T' : 'F');
+    } else {
+      os << v[i];
+    }
+  }
+  return os << ']';
+}
+
+/// Require two vectors to be elementwise conformable (equal length).
+template <typename T, typename U>
+void require_same_length(const Vec<T>& a, const Vec<U>& b, const char* op) {
+  PROTEUS_REQUIRE(VectorError, a.size() == b.size(),
+                  std::string(op) + ": operand lengths differ (" +
+                      std::to_string(a.size()) + " vs " +
+                      std::to_string(b.size()) + ")");
+}
+
+}  // namespace proteus::vl

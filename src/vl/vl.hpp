@@ -1,0 +1,14 @@
+// vl.hpp — umbrella header for the flat vector library (the CVL analogue
+// of the paper's target notation V). See DESIGN.md §3 for the inventory.
+#pragma once
+
+#include "vl/backend.hpp"
+#include "vl/check.hpp"
+#include "vl/distribute.hpp"
+#include "vl/elementwise.hpp"
+#include "vl/pack.hpp"
+#include "vl/permute.hpp"
+#include "vl/reduce.hpp"
+#include "vl/scan.hpp"
+#include "vl/segdesc.hpp"
+#include "vl/vec.hpp"

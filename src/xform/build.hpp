@@ -1,0 +1,91 @@
+// build.hpp — typed-node construction helpers and fresh-name generation
+// shared by the transformation passes. Every generated node carries its
+// static type so downstream passes and engines never re-infer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/typecheck.hpp"
+
+namespace proteus::xform {
+
+/// Source of fresh variable names. Generated names use the reserved "_t"
+/// prefix (see README: user identifiers beginning with "_t" are reserved
+/// for the transformation engine).
+class NameGen {
+ public:
+  std::string fresh(const char* hint) {
+    return std::string("_t") + std::to_string(++counter_) + "_" + hint;
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+namespace nb {  // node builders
+
+using lang::Expr;
+using lang::ExprPtr;
+using lang::Prim;
+using lang::TypePtr;
+
+inline ExprPtr int_lit(vl::Int v) {
+  return lang::make_expr(lang::IntLit{v}, lang::Type::int_());
+}
+
+inline ExprPtr var(const std::string& name, TypePtr type) {
+  return lang::make_expr(lang::VarRef{name, false}, std::move(type));
+}
+
+inline ExprPtr let(const std::string& name, ExprPtr init, ExprPtr body) {
+  TypePtr t = body->type;
+  return lang::make_expr(lang::Let{name, std::move(init), std::move(body)},
+                         std::move(t));
+}
+
+inline ExprPtr if_(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  TypePtr t = then_e->type;
+  return lang::make_expr(
+      lang::If{std::move(cond), std::move(then_e), std::move(else_e)},
+      std::move(t));
+}
+
+/// Depth-0 primitive call with inferred result type.
+inline ExprPtr prim(Prim op, std::vector<ExprPtr> args) {
+  std::vector<TypePtr> arg_types;
+  arg_types.reserve(args.size());
+  for (const ExprPtr& a : args) arg_types.push_back(a->type);
+  TypePtr t = lang::prim_result_type(op, arg_types);
+  return lang::make_expr(lang::PrimCall{op, 0, std::move(args), {}},
+                         std::move(t));
+}
+
+/// Depth-d primitive call with explicit result type and lift flags.
+inline ExprPtr prim_d(Prim op, int depth, std::vector<ExprPtr> args,
+                      std::vector<std::uint8_t> lifted, TypePtr result) {
+  return lang::make_expr(
+      lang::PrimCall{op, depth, std::move(args), std::move(lifted)},
+      std::move(result));
+}
+
+inline ExprPtr fun_call(const std::string& name, int depth,
+                        std::vector<ExprPtr> args,
+                        std::vector<std::uint8_t> lifted, TypePtr result) {
+  return lang::make_expr(
+      lang::FunCall{name, depth, std::move(args), std::move(lifted)},
+      std::move(result));
+}
+
+inline ExprPtr iterator(const std::string& var_name, ExprPtr domain,
+                        ExprPtr body) {
+  TypePtr t = lang::Type::seq(body->type);
+  return lang::make_expr(
+      lang::Iterator{var_name, std::move(domain), nullptr, std::move(body)},
+      std::move(t));
+}
+
+}  // namespace nb
+
+}  // namespace proteus::xform

@@ -1,0 +1,32 @@
+// canon.hpp — iterator canonical form (rule R1 of Section 3.1, plus the
+// desugaring of the filtered iterator defined in Section 2).
+//
+// After this pass, every iterator in the program
+//   * has no filter clause:   [x <- d | b : e]  becomes
+//         let _d = d in
+//         let _m = [x <- _d : b] in
+//         [x <- restrict(_d, _m) : e]
+//   * has a domain of the form range1(e) (i.e. [1 .. e]):
+//         [x <- d : e]  becomes
+//         let _v = d in
+//         [_i <- range1(#_v) : let x = _v[_i] in e]
+//     (iterators whose domain is already [1..e] are left alone, with their
+//     own variable serving as the index).
+//
+// The pass expects a type-checked program and preserves type annotations.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "xform/build.hpp"
+
+namespace proteus::xform {
+
+/// Canonicalizes every iterator in `e`.
+[[nodiscard]] lang::ExprPtr canonicalize(const lang::ExprPtr& e,
+                                         NameGen& names);
+
+/// Canonicalizes every function body of a checked program.
+[[nodiscard]] lang::Program canonicalize(const lang::Program& program,
+                                         NameGen& names);
+
+}  // namespace proteus::xform

@@ -1,0 +1,69 @@
+// flatten.hpp — iterator elimination: the syntax-directed transformation
+// tau(e, j) of Section 3.2 (rules R2a–R2f) together with the synthesis of
+// the parallel extensions f^1 of user functions (the R0 step shown in
+// Section 5).
+//
+// Input: a type-checked, canonicalized program (every iterator of the form
+// [i <- range1(e) : body], no filters). Output: an equivalent program with
+// no Iterator nodes, where data-parallelism is expressed through
+// depth-annotated calls (PrimCall/FunCall/IndirectCall/SeqExpr/TupleExpr/
+// TupleGet with depth >= 1) plus the representation primitives
+// empty_frame/any_true of rule R2d. The subsequent translate pass (T1)
+// reduces every depth >= 2 occurrence to depth 1.
+//
+// Key invariants maintained by the pass (see DESIGN.md §5):
+//   * At transformation depth j, every variable bound at depth >= 1
+//     ("frame variables") holds a depth-j frame; variables bound at depth
+//     0 (parameters, outer lets) are depth-0 values used via broadcast.
+//   * Subexpressions with no free frame variables are transformed at depth
+//     0 and broadcast — this is the paper's "iterators enclosing a
+//     constant or a free variable may be replaced directly" rule and the
+//     basis of the §4.5 no-replication optimization.
+//   * A "witness" frame variable conformable with the current depth-j
+//     frame is always in scope, so depth-0 values can be replicated to
+//     depth j with dist/extract/insert when a frame is required (user
+//     function arguments; Section 3's uniform depth-0 -> depth-d
+//     conversion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "xform/build.hpp"
+
+namespace proteus::xform {
+
+struct FlattenOptions {
+  /// Section 4.5 optimization: when true (default), invariant sequence
+  /// arguments of primitives stay depth-0 and the executor applies them
+  /// via shared-source kernels (e.g. seq_index^1 as a gather from one
+  /// shared sequence). When false, every invariant sequence argument is
+  /// explicitly replicated to the frame depth — the "waste of time and
+  /// space" the paper warns about; kept for the ablation bench.
+  bool broadcast_invariant_seq_args = true;
+  /// When non-null, receives one line per rule application — the
+  /// KIDS-style derivation annotations the paper shows in Section 5
+  /// ({R2c}, {R2d}, ...).
+  std::vector<std::string>* trace_sink = nullptr;
+};
+
+struct FlattenedProgram {
+  /// All original functions (iterator-free bodies) plus every generated
+  /// parallel extension f^1 (marked with extension_of / extension_depth).
+  lang::Program program;
+};
+
+/// Flattens every function of a canonical checked program.
+[[nodiscard]] FlattenedProgram flatten(const lang::Program& canonical,
+                                       NameGen& names,
+                                       const FlattenOptions& options = {});
+
+/// Flattens a standalone canonical expression against `canonical`
+/// (functions it needs are flattened into `out->program`). Returns the
+/// iterator-free expression.
+[[nodiscard]] lang::ExprPtr flatten_expression(
+    const lang::Program& canonical, const lang::ExprPtr& expr, NameGen& names,
+    FlattenedProgram* out, const FlattenOptions& options = {});
+
+}  // namespace proteus::xform

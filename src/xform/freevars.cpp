@@ -1,0 +1,72 @@
+#include "xform/freevars.hpp"
+
+namespace proteus::xform {
+
+using namespace lang;
+
+namespace {
+
+void collect(const ExprPtr& e, std::set<std::string>& bound,
+             std::set<std::string>& free) {
+  if (e == nullptr) return;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarRef>) {
+          if (!node.is_function && !bound.contains(node.name)) {
+            free.insert(node.name);
+          }
+        } else if constexpr (std::is_same_v<T, Let>) {
+          collect(node.init, bound, free);
+          const bool was_bound = bound.contains(node.var);
+          bound.insert(node.var);
+          collect(node.body, bound, free);
+          if (!was_bound) bound.erase(node.var);
+        } else if constexpr (std::is_same_v<T, If>) {
+          collect(node.cond, bound, free);
+          collect(node.then_expr, bound, free);
+          collect(node.else_expr, bound, free);
+        } else if constexpr (std::is_same_v<T, Iterator>) {
+          collect(node.domain, bound, free);
+          const bool was_bound = bound.contains(node.var);
+          bound.insert(node.var);
+          collect(node.filter, bound, free);
+          collect(node.body, bound, free);
+          if (!was_bound) bound.erase(node.var);
+        } else if constexpr (std::is_same_v<T, Call>) {
+          collect(node.callee, bound, free);
+          for (const ExprPtr& a : node.args) collect(a, bound, free);
+        } else if constexpr (std::is_same_v<T, PrimCall> ||
+                             std::is_same_v<T, FunCall>) {
+          for (const ExprPtr& a : node.args) collect(a, bound, free);
+        } else if constexpr (std::is_same_v<T, IndirectCall>) {
+          collect(node.fn, bound, free);
+          for (const ExprPtr& a : node.args) collect(a, bound, free);
+        } else if constexpr (std::is_same_v<T, TupleExpr> ||
+                             std::is_same_v<T, SeqExpr>) {
+          for (const ExprPtr& a : node.elems) collect(a, bound, free);
+        } else if constexpr (std::is_same_v<T, TupleGet>) {
+          collect(node.tuple, bound, free);
+        } else if constexpr (std::is_same_v<T, LambdaExpr>) {
+          // Fully parameterized: a lambda's body can reference only its own
+          // parameters, so it contributes no free variables.
+        }
+        // Literals contribute nothing.
+      },
+      e->node);
+}
+
+}  // namespace
+
+std::set<std::string> free_vars(const ExprPtr& e) {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  collect(e, bound, free);
+  return free;
+}
+
+bool occurs_free(const ExprPtr& e, const std::string& name) {
+  return free_vars(e).contains(name);
+}
+
+}  // namespace proteus::xform

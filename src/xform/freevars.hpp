@@ -1,0 +1,23 @@
+// freevars.hpp — free-variable analysis used by the transformation rules.
+//
+// Rule R2c dist's, and rule R2d restricts, exactly the iterator-bound
+// variables that occur free in the subexpression at hand; this module
+// computes those occurrence sets.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace proteus::xform {
+
+/// Names of the variables occurring free in `e` (function names referenced
+/// through resolved VarRef/FunCall nodes are excluded — they are global).
+[[nodiscard]] std::set<std::string> free_vars(const lang::ExprPtr& e);
+
+/// True when `name` occurs free in `e`.
+[[nodiscard]] bool occurs_free(const lang::ExprPtr& e,
+                               const std::string& name);
+
+}  // namespace proteus::xform

@@ -1,0 +1,44 @@
+// optimize.hpp — vector-level optimizations (Section 4.5).
+//
+// The paper: "Certain functions may have parameters that should not be
+// extracted and inserted. Consider the function seq_index. If the source
+// parameter is fixed relative to the surrounding iterators, there is no
+// need to replicate it ... each set of index values would retrieve from
+// their own copy of the source sequence, clearly a waste of time and
+// space."
+//
+// Rule R2c replicates every frame variable through each nested iterator
+// with dist^j. When such a replicated variable is used ONLY as a
+// seq_index source, the replication is pure waste — and it is
+// asymptotically significant: it is what makes flattened divide-and-
+// conquer quadratic. This pass removes it:
+//
+//     let V = dist^j(v, ib) in ... seq_index^{j+1}(V, idx) ...
+//  =>                        ... seq_index_inner^j(v, idx) ...
+//
+// where seq_index_inner(v, is) = [v[i] : i in is] gathers from the shared
+// row (its depth-1 extension is one segmented gather). The rewrite fires
+// only when every use of V is such a source and the dist then disappears.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "xform/build.hpp"
+
+namespace proteus::xform {
+
+/// Applies the shared-row rewrite throughout one expression.
+[[nodiscard]] lang::ExprPtr optimize_shared_rows(const lang::ExprPtr& e);
+
+/// Applies it to every function body.
+[[nodiscard]] lang::Program optimize_shared_rows(
+    const lang::Program& flattened);
+
+/// Removes let bindings whose variable does not occur in the body (all
+/// expressions of P/V are pure, so this is always sound). The
+/// transformation rules bind witnesses and bounds eagerly; this pass
+/// cleans up what they did not end up needing.
+[[nodiscard]] lang::ExprPtr remove_dead_lets(const lang::ExprPtr& e);
+
+[[nodiscard]] lang::Program remove_dead_lets(const lang::Program& program);
+
+}  // namespace proteus::xform

@@ -1,0 +1,71 @@
+#include "xform/pipeline.hpp"
+
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "xform/canon.hpp"
+#include "xform/optimize.hpp"
+#include "xform/translate.hpp"
+#include "xform/verify.hpp"
+
+namespace proteus::xform {
+
+using namespace lang;
+
+Compiled compile(std::string_view program_source,
+                 std::string_view entry_source,
+                 const PipelineOptions& options) {
+  Compiled out;
+  NameGen names;
+
+  Program parsed = parse_program(program_source);
+  out.checked = typecheck(parsed);
+
+  if (!entry_source.empty()) {
+    ExprPtr entry = parse_expression(entry_source);
+    Program lifted;
+    out.entry_checked = typecheck_expression(out.checked, entry, &lifted);
+    // Lambdas lifted out of the entry expression join the program.
+    for (FunDef& f : lifted.functions) {
+      out.checked.functions.push_back(std::move(f));
+    }
+  }
+
+  out.canonical = canonicalize(out.checked, names);
+
+  FlattenOptions flatten_options = options.flatten;
+  if (options.collect_trace) flatten_options.trace_sink = &out.derivation;
+
+  if (out.entry_checked != nullptr) {
+    ExprPtr entry_canonical = canonicalize(out.entry_checked, names);
+    FlattenedProgram flat;
+    out.entry_flat = flatten_expression(out.canonical, entry_canonical, names,
+                                        &flat, flatten_options);
+    out.flat = std::move(flat.program);
+    if (options.shared_row_gather) {
+      out.flat = optimize_shared_rows(out.flat);
+      out.entry_flat = optimize_shared_rows(out.entry_flat);
+    }
+    out.flat = remove_dead_lets(out.flat);
+    out.entry_flat = remove_dead_lets(out.entry_flat);
+    out.entry_vec = translate(out.entry_flat, names);
+  } else {
+    out.flat = flatten(out.canonical, names, flatten_options).program;
+    if (options.shared_row_gather) {
+      out.flat = optimize_shared_rows(out.flat);
+    }
+    out.flat = remove_dead_lets(out.flat);
+  }
+
+  out.vec = translate(out.flat, names);
+  if (options.verify_output) {
+    verify_vector_program(out.vec);
+    if (out.entry_vec != nullptr) {
+      verify_vector_expression(out.vec, out.entry_vec);
+    }
+  }
+  return out;
+}
+
+}  // namespace proteus::xform

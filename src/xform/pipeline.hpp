@@ -1,0 +1,54 @@
+// pipeline.hpp — the end-to-end directed-transformation pipeline:
+//
+//   parse -> typecheck -> canonicalize (R1) -> flatten (R2) -> translate (T1)
+//
+// mirroring the KIDS-driven process of the paper. Every intermediate stage
+// is retained so tests and benches can compare engines and inspect the
+// transformed forms (e.g. the Section 5 worked example).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "xform/flatten.hpp"
+
+namespace proteus::xform {
+
+struct PipelineOptions {
+  FlattenOptions flatten;
+  /// Section 4.5: rewrite replicated seq_index sources into shared-row
+  /// gathers (removes the quadratic replication in flattened recursion).
+  bool shared_row_gather = true;
+  /// Run the structural V-form verifier over the final program (cheap;
+  /// catches transformation bugs at compile time instead of run time).
+  bool verify_output = true;
+  /// Collect a KIDS-style derivation trace (one line per rule firing)
+  /// into Compiled::derivation.
+  bool collect_trace = false;
+};
+
+/// All stages of a compiled program, plus (optionally) one entry
+/// expression carried through the same stages.
+struct Compiled {
+  lang::Program checked;    ///< type-checked P program
+  lang::Program canonical;  ///< after R1 / filter desugaring
+  lang::Program flat;       ///< iterator-free, depth-annotated (post-R2)
+  lang::Program vec;        ///< the V program (post-T1, depths <= 1)
+
+  lang::ExprPtr entry_checked;  ///< null when no entry expression given
+  lang::ExprPtr entry_flat;
+  lang::ExprPtr entry_vec;
+
+  /// Rule-by-rule derivation log (only when options.collect_trace).
+  std::vector<std::string> derivation;
+};
+
+/// Compiles a program (and an optional entry expression evaluated in its
+/// scope) through every stage. Throws SyntaxError/TypeError/TransformError.
+[[nodiscard]] Compiled compile(std::string_view program_source,
+                               std::string_view entry_source = {},
+                               const PipelineOptions& options = {});
+
+}  // namespace proteus::xform

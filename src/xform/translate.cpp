@@ -1,0 +1,228 @@
+#include "xform/translate.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "vl/check.hpp"
+
+namespace proteus::xform {
+
+using namespace lang;
+
+namespace {
+
+TypePtr strip_seq(const TypePtr& t, int k) {
+  TypePtr cur = t;
+  for (int i = 0; i < k; ++i) {
+    PROTEUS_REQUIRE(TransformError, cur->is_seq(),
+                    "T1: stripping a non-sequence type");
+    cur = cur->elem();
+  }
+  return cur;
+}
+
+class Translate {
+ public:
+  explicit Translate(NameGen& names) : names_(names) {}
+
+  ExprPtr rewrite(const ExprPtr& e) {
+    if (e == nullptr) return nullptr;
+    return std::visit(
+        [&](const auto& node) { return rewrite_node(node, e); }, e->node);
+  }
+
+ private:
+  std::vector<ExprPtr> rewrite_all(const std::vector<ExprPtr>& items) {
+    std::vector<ExprPtr> out;
+    out.reserve(items.size());
+    for (const ExprPtr& it : items) out.push_back(rewrite(it));
+    return out;
+  }
+
+  /// The T1 rule: reduce a depth-d node (d >= 2) to its depth-1 form.
+  /// `build` constructs the depth-1 node from the adjusted arguments; its
+  /// result type must be the depth-1 frame type.
+  ExprPtr apply_t1(int depth, std::vector<ExprPtr> args,
+                   const std::vector<std::uint8_t>& lifted,
+                   const TypePtr& result_type,
+                   const std::function<ExprPtr(std::vector<ExprPtr>)>& build) {
+    const int d1 = depth - 1;
+    // Bind the frame source (first lifted argument) so it can be used both
+    // extracted and as the insert frame without duplicating work.
+    int frame_idx = -1;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (lifted.empty() || lifted[i] != 0) {
+        frame_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    PROTEUS_REQUIRE(TransformError, frame_idx >= 0,
+                    "T1: depth-extended call with no frame argument");
+    std::string fname = names_.fresh("f");
+    ExprPtr fsrc = args[static_cast<std::size_t>(frame_idx)];
+    ExprPtr fvar = nb::var(fname, fsrc->type);
+    args[static_cast<std::size_t>(frame_idx)] = fvar;
+
+    std::vector<ExprPtr> flat_args;
+    flat_args.reserve(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (lifted.empty() || lifted[i] != 0) {
+        flat_args.push_back(nb::prim_d(Prim::kExtract, 0,
+                                       {args[i], nb::int_lit(d1)}, {},
+                                       strip_seq(args[i]->type, d1)));
+      } else {
+        flat_args.push_back(args[i]);
+      }
+    }
+    ExprPtr inner = build(std::move(flat_args));
+    ExprPtr restored = nb::prim_d(Prim::kInsert, 0,
+                                  {inner, fvar, nb::int_lit(d1)}, {},
+                                  result_type);
+    return nb::let(fname, fsrc, restored);
+  }
+
+  template <typename T>
+  ExprPtr rewrite_node(const T& node, const ExprPtr& e) {
+    if constexpr (std::is_same_v<T, IntLit> || std::is_same_v<T, RealLit> ||
+                  std::is_same_v<T, BoolLit> || std::is_same_v<T, VarRef>) {
+      return e;
+    } else if constexpr (std::is_same_v<T, Let>) {
+      return make_expr(Let{node.var, rewrite(node.init), rewrite(node.body)},
+                       e->type, e->loc);
+    } else if constexpr (std::is_same_v<T, If>) {
+      return make_expr(If{rewrite(node.cond), rewrite(node.then_expr),
+                          rewrite(node.else_expr)},
+                       e->type, e->loc);
+    } else if constexpr (std::is_same_v<T, PrimCall>) {
+      return rewrite_prim(node, e);
+    } else if constexpr (std::is_same_v<T, FunCall>) {
+      return rewrite_fun(node, e);
+    } else if constexpr (std::is_same_v<T, IndirectCall>) {
+      return rewrite_indirect(node, e);
+    } else if constexpr (std::is_same_v<T, TupleExpr>) {
+      return rewrite_tuple_cons(node, e);
+    } else if constexpr (std::is_same_v<T, TupleGet>) {
+      return rewrite_tuple_get(node, e);
+    } else if constexpr (std::is_same_v<T, SeqExpr>) {
+      return rewrite_seq_cons(node, e);
+    } else {
+      throw TransformError(
+          "T1 expects flattened input (Iterator/Call/Lambda found)");
+    }
+  }
+
+  ExprPtr rewrite_prim(const PrimCall& n, const ExprPtr& e) {
+    std::vector<ExprPtr> args = rewrite_all(n.args);
+    // empty_frame's depth field is a frame-depth marker, not a parallel
+    // extension; any_true consumes whole frames at once.
+    const bool exempt =
+        n.op == Prim::kEmptyFrame || n.op == Prim::kAnyTrue;
+    if (exempt || n.depth <= 1) {
+      return make_expr(PrimCall{n.op, n.depth, std::move(args), n.lifted},
+                       e->type, e->loc);
+    }
+    return apply_t1(n.depth, std::move(args), n.lifted, e->type,
+                    [&](std::vector<ExprPtr> flat) {
+                      return make_expr(
+                          PrimCall{n.op, 1, std::move(flat), n.lifted},
+                          Type::seq(strip_seq(e->type, n.depth)), e->loc);
+                    });
+  }
+
+  ExprPtr rewrite_fun(const FunCall& n, const ExprPtr& e) {
+    std::vector<ExprPtr> args = rewrite_all(n.args);
+    if (n.depth == 0) {
+      return make_expr(FunCall{n.name, 0, std::move(args), {}}, e->type,
+                       e->loc);
+    }
+    const std::string ext = extension_name(n.name, 1);
+    if (n.depth == 1) {
+      return make_expr(FunCall{ext, 0, std::move(args), {}}, e->type, e->loc);
+    }
+    return apply_t1(n.depth, std::move(args), n.lifted, e->type,
+                    [&](std::vector<ExprPtr> flat) {
+                      return make_expr(
+                          FunCall{ext, 0, std::move(flat), {}},
+                          Type::seq(strip_seq(e->type, n.depth)), e->loc);
+                    });
+  }
+
+  ExprPtr rewrite_indirect(const IndirectCall& n, const ExprPtr& e) {
+    ExprPtr fn = rewrite(n.fn);
+    std::vector<ExprPtr> args = rewrite_all(n.args);
+    if (n.depth <= 1) {
+      return make_expr(
+          IndirectCall{std::move(fn), n.depth, std::move(args), n.lifted},
+          e->type, e->loc);
+    }
+    return apply_t1(
+        n.depth, std::move(args), n.lifted, e->type,
+        [&](std::vector<ExprPtr> flat) {
+          return make_expr(IndirectCall{fn, 1, std::move(flat), n.lifted},
+                           Type::seq(strip_seq(e->type, n.depth)), e->loc);
+        });
+  }
+
+  ExprPtr rewrite_tuple_cons(const TupleExpr& n, const ExprPtr& e) {
+    std::vector<ExprPtr> elems = rewrite_all(n.elems);
+    if (n.depth <= 1) {
+      return make_expr(TupleExpr{std::move(elems), n.depth}, e->type, e->loc);
+    }
+    return apply_t1(n.depth, std::move(elems), {}, e->type,
+                    [&](std::vector<ExprPtr> flat) {
+                      return make_expr(
+                          TupleExpr{std::move(flat), 1},
+                          Type::seq(strip_seq(e->type, n.depth)), e->loc);
+                    });
+  }
+
+  ExprPtr rewrite_tuple_get(const TupleGet& n, const ExprPtr& e) {
+    ExprPtr tuple = rewrite(n.tuple);
+    if (n.depth <= 1) {
+      return make_expr(TupleGet{std::move(tuple), n.index, n.depth}, e->type,
+                       e->loc);
+    }
+    std::vector<ExprPtr> args{std::move(tuple)};
+    return apply_t1(n.depth, std::move(args), {}, e->type,
+                    [&](std::vector<ExprPtr> flat) {
+                      return make_expr(
+                          TupleGet{flat[0], n.index, 1},
+                          Type::seq(strip_seq(e->type, n.depth)), e->loc);
+                    });
+  }
+
+  ExprPtr rewrite_seq_cons(const SeqExpr& n, const ExprPtr& e) {
+    std::vector<ExprPtr> elems = rewrite_all(n.elems);
+    if (n.depth <= 1) {
+      return make_expr(SeqExpr{std::move(elems), n.elem_type, n.depth},
+                       e->type, e->loc);
+    }
+    return apply_t1(
+        n.depth, std::move(elems), {}, e->type,
+        [&](std::vector<ExprPtr> flat) {
+          return make_expr(SeqExpr{std::move(flat), n.elem_type, 1},
+                           Type::seq(strip_seq(e->type, n.depth)), e->loc);
+        });
+  }
+
+  NameGen& names_;
+};
+
+}  // namespace
+
+ExprPtr translate(const ExprPtr& e, NameGen& names) {
+  return Translate(names).rewrite(e);
+}
+
+Program translate(const Program& flattened, NameGen& names) {
+  Program out;
+  out.functions.reserve(flattened.functions.size());
+  for (const FunDef& f : flattened.functions) {
+    FunDef g = f;
+    g.body = translate(f.body, names);
+    out.functions.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace proteus::xform

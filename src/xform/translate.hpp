@@ -1,0 +1,30 @@
+// translate.hpp — the translation rule T1 of Section 4.3 / Figure 3.
+//
+// A depth-d parallel extension (d >= 2) of any function f is realized with
+// the depth-1 extension alone:
+//
+//     f^d(e1, ..., en)  =  insert(f^1(extract(e1, d-1), ..., d-1 applied
+//                          to every frame argument), e1, d-1)
+//
+// extract flattens the d-1 outer nesting levels of each frame argument
+// (broadcast arguments pass through untouched), f^1 runs on the flat
+// depth-1 frames, and insert re-attaches the original frame's descriptors
+// to the result. After this pass every call node has depth <= 1, calls to
+// user extensions are rewritten to their generated `f^1` definitions, and
+// the executor needs native kernels only for the depth-1 extensions of the
+// primitives — exactly the claim of Section 4.3.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "xform/build.hpp"
+
+namespace proteus::xform {
+
+/// Applies T1 to one expression.
+[[nodiscard]] lang::ExprPtr translate(const lang::ExprPtr& e, NameGen& names);
+
+/// Applies T1 to every function body.
+[[nodiscard]] lang::Program translate(const lang::Program& flattened,
+                                      NameGen& names);
+
+}  // namespace proteus::xform

@@ -1,0 +1,36 @@
+// verify.hpp — structural well-formedness checker for transformed (V-form)
+// programs.
+//
+// A valid V program (Section 4's target notation, as produced by the full
+// pipeline) satisfies:
+//   * no Iterator, no unresolved Call, no LambdaExpr nodes;
+//   * every call-like node has extension depth <= 1 (post-T1), except the
+//     empty_frame depth marker and whole-frame any_true;
+//   * lifted flags have one entry per argument (or are empty), and calls
+//     at depth 1 have at least one lifted argument;
+//   * every FunCall target is defined in the program, and every function
+//     value that can reach a depth-1 IndirectCall has its ^1 extension;
+//   * every node carries a type annotation, and extract/insert/empty_frame
+//     carry literal depth arguments;
+//   * variables are in scope (no free variables escape their binders).
+//
+// The checker throws TransformError with a path to the offending node.
+// It runs in every pipeline test over every program in the repository,
+// turning "the transformation produced something odd" into a loud,
+// located failure instead of a downstream executor error.
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace proteus::xform {
+
+/// Verifies one V expression in the scope of `program` with the given
+/// variables in scope. Throws TransformError on the first violation.
+void verify_vector_expression(const lang::Program& program,
+                              const lang::ExprPtr& expr,
+                              const std::vector<std::string>& in_scope = {});
+
+/// Verifies every function body of a V program.
+void verify_vector_program(const lang::Program& program);
+
+}  // namespace proteus::xform

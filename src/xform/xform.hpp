@@ -1,0 +1,12 @@
+// xform.hpp — umbrella header for the transformation engine (Sections 3
+// and 4 of the paper: rules R1, R2a–R2f, T1).
+#pragma once
+
+#include "xform/build.hpp"
+#include "xform/canon.hpp"
+#include "xform/flatten.hpp"
+#include "xform/freevars.hpp"
+#include "xform/optimize.hpp"
+#include "xform/pipeline.hpp"
+#include "xform/translate.hpp"
+#include "xform/verify.hpp"

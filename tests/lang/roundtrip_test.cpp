@@ -1,0 +1,69 @@
+// Printer/parser round-trip properties over realistic whole programs:
+// print(parse(x)) is a fixpoint, and re-checking the printed text yields
+// the same signatures.
+#include <gtest/gtest.h>
+
+#include "lang/lang.hpp"
+
+namespace proteus::lang {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsFixpoint) {
+  Program p1 = parse_program(GetParam());
+  std::string t1 = to_text(p1);
+  Program p2 = parse_program(t1);
+  EXPECT_EQ(to_text(p2), t1);
+}
+
+TEST_P(RoundTrip, PrintedTextTypechecksToSameSignatures) {
+  Program checked1 = typecheck(parse_program(GetParam()));
+  Program checked2 = typecheck(parse_program(to_text(checked1)));
+  ASSERT_EQ(checked1.functions.size(), checked2.functions.size());
+  for (std::size_t i = 0; i < checked1.functions.size(); ++i) {
+    const FunDef& a = checked1.functions[i];
+    const FunDef& b = checked2.functions[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_TRUE(equal(a.result, b.result)) << a.name;
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (std::size_t k = 0; k < a.params.size(); ++k) {
+      EXPECT_TRUE(equal(a.params[k].type, b.params[k].type));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTrip,
+    ::testing::Values(
+        "fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]",
+        R"(fun odd(a: int): bool = 1 == (a mod 2)
+           fun oddsq(n: int): seq(seq(int)) =
+             [i <- [1 .. n] | odd(i) : [j <- [1 .. i] : j]])",
+        R"(fun qs(v: seq(int)): seq(int) =
+             if #v <= 1 then v
+             else let p = v[1] in
+               qs([x <- v | x < p : x]) ++ [x <- v | x == p : x] ++
+               qs([x <- v | x > p : x]))",
+        R"(fun pairs(v: seq(int)): seq((int, (int, bool))) =
+             [x <- v : (x, (x * 2, x > 0))]
+           fun firsts(v: seq((int, (int, bool)))): seq(int) =
+             [p <- v : p.1 + p.2.1])",
+        R"(fun fold(f: (int,int) -> int, z: int, v: seq(int)): int =
+             if #v == 0 then z
+             else f(fold(f, z, [i <- [1 .. #v - 1] : v[i]]), v[#v])
+           fun add2(a: int, b: int): int = a + b
+           fun use(m: seq(seq(int))): seq(int) =
+             [row <- m : fold(add2, 0, row)])",
+        R"(fun stats(v: seq(real)): (real, real) =
+             let m = sum(v) / real(#v) in
+             (m, sum([x <- v : (x - m) * (x - m)]) / real(#v)))",
+        R"(fun upd(m: seq(seq(int)), i: int): seq(seq(int)) =
+             (m; [i][1] : 0)
+           fun lens(m: seq(seq(int))): seq(int) = [r <- m : #r])",
+        R"(fun emptyish(n: int): seq(seq(int)) =
+             if n == 0 then ([] : seq(seq(int)))
+             else [[1], [], range1(n)])"));
+
+}  // namespace
+}  // namespace proteus::lang

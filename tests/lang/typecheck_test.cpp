@@ -1,0 +1,199 @@
+// Accept/reject suites for the static monomorphic type checker.
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+
+namespace proteus::lang {
+namespace {
+
+Program check(std::string_view src) {
+  return typecheck(parse_program(src));
+}
+
+TypePtr type_of(std::string_view program, std::string_view expr) {
+  Program p = check(program);
+  return typecheck_expression(p, parse_expression(expr))->type;
+}
+
+TEST(Typecheck, ScalarArithmetic) {
+  EXPECT_TRUE(equal(type_of("", "1 + 2 * 3"), Type::int_()));
+  EXPECT_TRUE(equal(type_of("", "1.5 + 2.5"), Type::real()));
+  EXPECT_TRUE(equal(type_of("", "real(2) * 3.0"), Type::real()));
+  EXPECT_TRUE(equal(type_of("", "int(1.9)"), Type::int_()));
+}
+
+TEST(Typecheck, NoImplicitPromotion) {
+  EXPECT_THROW((void)type_of("", "1 + 2.0"), TypeError);
+}
+
+TEST(Typecheck, Comparisons) {
+  EXPECT_TRUE(equal(type_of("", "1 < 2"), Type::bool_()));
+  EXPECT_TRUE(equal(type_of("", "true == false"), Type::bool_()));
+  EXPECT_THROW((void)type_of("", "true < false"), TypeError);
+  EXPECT_THROW((void)type_of("", "1 == true"), TypeError);
+}
+
+TEST(Typecheck, SequencePrimitives) {
+  EXPECT_TRUE(equal(type_of("", "#[1,2]"), Type::int_()));
+  EXPECT_TRUE(equal(type_of("", "[1 .. 9]"), Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "[1,2][1]"), Type::int_()));
+  EXPECT_TRUE(equal(type_of("", "[[1],[2]][1]"), Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "restrict([1,2],[true,false])"),
+                    Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "combine([true,false],[1],[2])"),
+                    Type::seq(Type::int_())));
+  EXPECT_TRUE(
+      equal(type_of("", "dist([1,2], 3)"), Type::seq(Type::seq(Type::int_()))));
+  EXPECT_TRUE(equal(type_of("", "flatten([[1],[2]])"), Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "sum([1.0])"), Type::real()));
+  EXPECT_TRUE(equal(type_of("", "update([1,2], 1, 9)"),
+                    Type::seq(Type::int_())));
+}
+
+TEST(Typecheck, SequenceHomogeneity) {
+  EXPECT_THROW((void)type_of("", "[1, true]"), TypeError);
+  EXPECT_THROW((void)type_of("", "[[1], [true]]"), TypeError);
+}
+
+TEST(Typecheck, TypedEmptyLiteral) {
+  EXPECT_TRUE(equal(type_of("", "([] : seq(int))"), Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "[1] ++ ([] : seq(int))"),
+                    Type::seq(Type::int_())));
+  EXPECT_THROW((void)type_of("", "[1.0] ++ ([] : seq(int))"), TypeError);
+}
+
+TEST(Typecheck, Iterator) {
+  EXPECT_TRUE(equal(type_of("", "[i <- [1 .. 3] : i * i]"),
+                    Type::seq(Type::int_())));
+  EXPECT_TRUE(equal(type_of("", "[i <- [1 .. 3] : [j <- [1 .. i] : j]]"),
+                    Type::seq(Type::seq(Type::int_()))));
+  EXPECT_TRUE(equal(type_of("", "[i <- [1 .. 3] | i > 1 : i]"),
+                    Type::seq(Type::int_())));
+  EXPECT_THROW((void)type_of("", "[i <- 5 : i]"), TypeError);        // non-seq domain
+  EXPECT_THROW((void)type_of("", "[i <- [1] | 3 : i]"), TypeError);  // non-bool filter
+}
+
+TEST(Typecheck, IfRules) {
+  EXPECT_TRUE(equal(type_of("", "if true then 1 else 2"), Type::int_()));
+  EXPECT_THROW((void)type_of("", "if 1 then 1 else 2"), TypeError);
+  EXPECT_THROW((void)type_of("", "if true then 1 else true"), TypeError);
+}
+
+TEST(Typecheck, TupleRules) {
+  EXPECT_TRUE(equal(type_of("", "(1, true).2"), Type::bool_()));
+  EXPECT_THROW((void)type_of("", "(1, true).3"), TypeError);
+  EXPECT_THROW((void)type_of("", "(1).1"), TypeError);  // (1) is grouping
+}
+
+TEST(Typecheck, FunctionCalls) {
+  const char* prog = R"(
+    fun inc(x: int): int = x + 1
+    fun apply_twice(f: (int) -> int, x: int): int = f(f(x))
+  )";
+  EXPECT_TRUE(equal(type_of(prog, "inc(1)"), Type::int_()));
+  EXPECT_TRUE(equal(type_of(prog, "apply_twice(inc, 3)"), Type::int_()));
+  EXPECT_THROW((void)type_of(prog, "inc(true)"), TypeError);
+  EXPECT_THROW((void)type_of(prog, "inc(1, 2)"), TypeError);
+  EXPECT_THROW((void)type_of(prog, "nosuch(1)"), TypeError);
+}
+
+TEST(Typecheck, ResultInference) {
+  Program p = check("fun f(x: int) = [x, x]");
+  EXPECT_TRUE(equal(p.find("f")->result, Type::seq(Type::int_())));
+}
+
+TEST(Typecheck, RecursionNeedsResultAnnotation) {
+  EXPECT_NO_THROW(check(
+      "fun fact(n: int): int = if n <= 1 then 1 else n * fact(n - 1)"));
+  EXPECT_THROW((void)check("fun fact(n: int) = if n <= 1 then 1 else n * fact(n-1)"),
+               TypeError);
+}
+
+TEST(Typecheck, ForwardReferenceNeedsAnnotation) {
+  EXPECT_NO_THROW(check(R"(
+    fun a(x: int): int = b(x)
+    fun b(x: int): int = x
+  )"));
+  EXPECT_THROW((void)check(R"(
+    fun a(x: int): int = b(x)
+    fun b(x: int) = x
+  )"),
+               TypeError);
+}
+
+TEST(Typecheck, DeclaredResultMustMatch) {
+  EXPECT_THROW((void)check("fun f(x: int): bool = x + 1"), TypeError);
+}
+
+TEST(Typecheck, DuplicateAndReservedNames) {
+  EXPECT_THROW((void)check("fun f(x: int): int = x fun f(y: int): int = y"),
+               TypeError);
+  EXPECT_THROW((void)check("fun sum(x: int): int = x"), TypeError);  // primitive
+  EXPECT_THROW((void)check("fun f(sum: int): int = sum"), TypeError);
+  EXPECT_THROW((void)type_of("fun g(x: int): int = x", "let g = 1 in g"), TypeError);
+}
+
+TEST(Typecheck, LambdaLifting) {
+  Program lifted;
+  Program p = check("fun id(x: int): int = x");
+  ExprPtr e = typecheck_expression(
+      p, parse_expression("(fun(x: int) => x * 2)(21)"), &lifted);
+  EXPECT_TRUE(equal(e->type, Type::int_()));
+  ASSERT_EQ(lifted.functions.size(), 1u);
+  EXPECT_TRUE(equal(lifted.functions[0].result, Type::int_()));
+}
+
+TEST(Typecheck, LambdasAreFullyParameterized) {
+  // A lambda cannot capture enclosing variables (Section 2).
+  EXPECT_THROW((void)type_of("", "let y = 1 in (fun(x: int) => x + y)(2)"),
+               TypeError);
+}
+
+TEST(Typecheck, PrimitiveAsValueRejected) {
+  EXPECT_THROW((void)type_of("", "let f = length in 1"), TypeError);
+}
+
+TEST(Typecheck, FunctionValueAsArgument) {
+  const char* prog = R"(
+    fun inc(x: int): int = x + 1
+    fun use(f: (int) -> int): int = f(0)
+  )";
+  EXPECT_TRUE(equal(type_of(prog, "use(inc)"), Type::int_()));
+}
+
+TEST(Typecheck, SequencesOfFunctionsRejected) {
+  const char* prog = "fun inc(x: int): int = x + 1";
+  EXPECT_THROW((void)type_of(prog, "[inc, inc]"), TypeError);
+}
+
+TEST(Typecheck, ExtendedPrimRules) {
+  EXPECT_TRUE(equal(type_of("", "reverse([1,2])"), Type::seq(Type::int_())));
+  EXPECT_THROW((void)type_of("", "reverse(1)"), TypeError);
+  EXPECT_TRUE(equal(type_of("", "zip([1],[true])"),
+                    Type::seq(Type::tuple({Type::int_(), Type::bool_()}))));
+  EXPECT_THROW((void)type_of("", "zip([1], 2)"), TypeError);
+  EXPECT_TRUE(equal(type_of("", "sqrt(2.0)"), Type::real()));
+  EXPECT_THROW((void)type_of("", "sqrt(2)"), TypeError);
+  EXPECT_TRUE(equal(
+      type_of("", "seq_index_inner([5,6,7],[1,3])"), Type::seq(Type::int_())));
+  EXPECT_THROW((void)type_of("", "seq_index_inner([5],[true])"), TypeError);
+}
+
+TEST(Typecheck, PrimOverloadResolution) {
+  // prim_result_type directly
+  EXPECT_TRUE(equal(
+      prim_result_type(Prim::kAdd, {Type::real(), Type::real()}),
+      Type::real()));
+  EXPECT_THROW((void)prim_result_type(Prim::kAdd, {Type::bool_(), Type::bool_()}),
+               TypeError);
+  EXPECT_THROW((void)prim_result_type(Prim::kFlatten, {Type::seq(Type::int_())}),
+               TypeError);
+  EXPECT_TRUE(equal(
+      prim_result_type(Prim::kFlatten,
+                       {Type::seq(Type::seq(Type::bool_()))}),
+      Type::seq(Type::bool_())));
+}
+
+}  // namespace
+}  // namespace proteus::lang

@@ -1,0 +1,78 @@
+// Tests for the type representation.
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/types.hpp"
+
+namespace proteus::lang {
+namespace {
+
+TEST(Types, ScalarsAreInterned) {
+  EXPECT_EQ(Type::int_().get(), Type::int_().get());
+  EXPECT_EQ(Type::bool_().get(), Type::bool_().get());
+}
+
+TEST(Types, Predicates) {
+  EXPECT_TRUE(Type::int_()->is_scalar());
+  EXPECT_TRUE(Type::int_()->is_numeric());
+  EXPECT_TRUE(Type::real()->is_numeric());
+  EXPECT_FALSE(Type::bool_()->is_numeric());
+  EXPECT_TRUE(Type::seq(Type::int_())->is_seq());
+  EXPECT_TRUE(Type::tuple({Type::int_()})->is_tuple());
+  EXPECT_TRUE(Type::fun({Type::int_()}, Type::bool_())->is_fun());
+}
+
+TEST(Types, StructuralEquality) {
+  EXPECT_TRUE(equal(Type::seq(Type::int_()), Type::seq(Type::int_())));
+  EXPECT_FALSE(equal(Type::seq(Type::int_()), Type::seq(Type::bool_())));
+  EXPECT_TRUE(equal(Type::tuple({Type::int_(), Type::bool_()}),
+                    Type::tuple({Type::int_(), Type::bool_()})));
+  EXPECT_FALSE(equal(Type::tuple({Type::int_()}),
+                     Type::tuple({Type::int_(), Type::int_()})));
+  EXPECT_TRUE(equal(Type::fun({Type::int_()}, Type::int_()),
+                    Type::fun({Type::int_()}, Type::int_())));
+  EXPECT_FALSE(equal(Type::fun({Type::int_()}, Type::int_()),
+                     Type::fun({Type::int_()}, Type::bool_())));
+}
+
+TEST(Types, SeqDepthAndBase) {
+  TypePtr t = Type::seq_n(Type::bool_(), 3);
+  EXPECT_EQ(seq_depth(t), 3);
+  EXPECT_TRUE(equal(seq_base(t), Type::bool_()));
+  EXPECT_EQ(seq_depth(Type::int_()), 0);
+}
+
+TEST(Types, ToString) {
+  EXPECT_EQ(to_string(Type::seq(Type::seq(Type::int_()))), "seq(seq(int))");
+  EXPECT_EQ(to_string(Type::tuple({Type::int_(), Type::real()})),
+            "(int, real)");
+  EXPECT_EQ(to_string(Type::fun({Type::int_(), Type::int_()}, Type::bool_())),
+            "(int, int) -> bool");
+}
+
+TEST(Types, AccessorsThrowOnWrongKind) {
+  EXPECT_THROW((void)Type::int_()->elem(), TypeError);
+  EXPECT_THROW((void)Type::int_()->components(), TypeError);
+  EXPECT_THROW((void)Type::int_()->params(), TypeError);
+  EXPECT_THROW((void)Type::int_()->result(), TypeError);
+}
+
+TEST(Types, ParseType) {
+  EXPECT_TRUE(equal(parse_type("seq(seq(int))"),
+                    Type::seq(Type::seq(Type::int_()))));
+  EXPECT_TRUE(equal(parse_type("(int, bool)"),
+                    Type::tuple({Type::int_(), Type::bool_()})));
+  EXPECT_TRUE(equal(parse_type("(int) -> seq(int)"),
+                    Type::fun({Type::int_()}, Type::seq(Type::int_()))));
+  EXPECT_TRUE(equal(parse_type("((int))"), Type::int_()));  // grouping
+  EXPECT_TRUE(equal(parse_type("() -> int"), Type::fun({}, Type::int_())));
+}
+
+TEST(Types, ParseTypeErrors) {
+  EXPECT_THROW((void)parse_type("quux"), SyntaxError);
+  EXPECT_THROW((void)parse_type("()"), SyntaxError);  // empty tuple
+  EXPECT_THROW((void)parse_type("seq int"), SyntaxError);
+}
+
+}  // namespace
+}  // namespace proteus::lang

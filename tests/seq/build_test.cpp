@@ -1,0 +1,52 @@
+// Tests for the construction helpers and deterministic generators.
+#include <gtest/gtest.h>
+
+#include "seq/seq.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::seq {
+namespace {
+
+TEST(Build, FromInts) {
+  EXPECT_EQ(to_text(from_ints({1, 2, 3})), "[1,2,3]");
+  EXPECT_EQ(to_text(from_ints({})), "[]");
+}
+
+TEST(Build, FromInts2RoundTrip) {
+  std::vector<std::vector<Int>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(to_ints2(from_ints2(v)), v);
+}
+
+TEST(Build, ToInts2RejectsWrongDepth) {
+  EXPECT_THROW((void)to_ints2(from_ints({1})), RepresentationError);
+}
+
+TEST(Build, RandomIsDeterministic) {
+  EXPECT_EQ(random_nested_ints(9, 3, 20, 6), random_nested_ints(9, 3, 20, 6));
+  EXPECT_EQ(random_ints(5, 50, -3, 3), random_ints(5, 50, -3, 3));
+  EXPECT_EQ(random_mask(5, 50, 1, 2), random_mask(5, 50, 1, 2));
+}
+
+TEST(Build, RandomRespectsBounds) {
+  IntVec v = random_ints(11, 1000, -3, 3);
+  for (Size i = 0; i < v.size(); ++i) {
+    EXPECT_GE(v[i], -3);
+    EXPECT_LE(v[i], 3);
+  }
+}
+
+TEST(Build, RandomMaskDensity) {
+  vl::BoolVec m = random_mask(13, 10000, 1, 4);
+  Size c = vl::count(m);
+  EXPECT_GT(c, 2000);
+  EXPECT_LT(c, 3000);
+}
+
+TEST(Build, RandomDepthZeroIsFlat) {
+  Array a = random_nested_ints(1, 0, 10, 5);
+  EXPECT_EQ(a.kind(), Array::Kind::kInt);
+  EXPECT_EQ(a.length(), 10);
+}
+
+}  // namespace
+}  // namespace proteus::seq

@@ -1,0 +1,139 @@
+// Tests for the vector representation of nested sequences (Section 4.1,
+// Figure 1): descriptor stacks, invariants, failure injection.
+#include <gtest/gtest.h>
+
+#include "seq/seq.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::seq {
+namespace {
+
+/// The exact value of Figure 1: [[[2,7],[3,9,8]], [[3],[4,3,2]]]... the
+/// paper's figure shows [[2,7],[3,9,8]],[[3],[4,3,2]] at depth 3.
+Array figure1() {
+  return from_ints3({{{2, 7}, {3, 9, 8}}, {{3}, {4, 3, 2}}});
+}
+
+TEST(Nested, Figure1DescriptorStack) {
+  Array a = figure1();
+  // Descriptor stack: V1 = [2] (singleton top), V2 = [2,2], V3 = [2,3,1,3];
+  // value vector [2,7,3,9,8,3,4,3,2].
+  std::vector<IntVec> stack = descriptor_stack(a);
+  ASSERT_EQ(stack.size(), 3u);
+  EXPECT_EQ(stack[0], (IntVec{2}));
+  EXPECT_EQ(stack[1], (IntVec{2, 2}));
+  EXPECT_EQ(stack[2], (IntVec{2, 3, 1, 3}));
+  EXPECT_EQ(leaf_int_values(a), (IntVec{2, 7, 3, 9, 8, 3, 4, 3, 2}));
+}
+
+TEST(Nested, DescriptorInvariant) {
+  // #V_{i+1} == sum(V_i) for every adjacent descriptor pair.
+  Array a = random_nested_ints(42, 4, 10, 5);
+  std::vector<IntVec> stack = descriptor_stack(a);
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+    EXPECT_EQ(vl::lengths_total(stack[i]),
+              static_cast<Size>(stack[i + 1].size()));
+  }
+  a.validate();
+}
+
+TEST(Nested, LengthAndDepth) {
+  Array a = figure1();
+  EXPECT_EQ(a.length(), 2);
+  EXPECT_EQ(a.element_depth(), 2);  // elements are depth-2 sequences
+  EXPECT_EQ(spine_depth(a), 2);
+  EXPECT_EQ(a.leaf_count(), 9);
+}
+
+TEST(Nested, EmptySequencesAtLeaves) {
+  // "empty sequences at the leaves are represented by a zero ... in the
+  // lowest-level descriptor vector"
+  Array a = from_ints2({{1, 2}, {}, {3}});
+  EXPECT_EQ(a.lengths(), (IntVec{2, 0, 1}));
+  EXPECT_EQ(a.length(), 3);
+  EXPECT_EQ(to_text(a), "[[1,2],[],[3]]");
+}
+
+TEST(Nested, WhollyEmpty) {
+  Array a = from_ints2({});
+  EXPECT_EQ(a.length(), 0);
+  EXPECT_EQ(to_text(a), "[]");
+}
+
+TEST(Nested, ConstructorRejectsBadDescriptor) {
+  EXPECT_THROW((void)Array::nested(IntVec{2, 2}, Array::ints(IntVec{1, 2, 3})),
+               VectorError);
+  EXPECT_THROW((void)Array::nested(IntVec{-1, 4}, Array::ints(IntVec{1, 2, 3})),
+               VectorError);
+}
+
+TEST(Nested, TupleComponentsMustAgree) {
+  EXPECT_THROW((void)Array::tuple({Array::ints(IntVec{1, 2}),
+                             Array::ints(IntVec{1})}),
+               RepresentationError);
+  EXPECT_THROW((void)Array::tuple({}), RepresentationError);
+}
+
+TEST(Nested, TupleOfVectors) {
+  // Seq((Int, Bool)) as structure-of-arrays — the "k > d+1 vectors" case.
+  Array a = Array::tuple(
+      {Array::ints(IntVec{1, 2}), Array::bools(vl::BoolVec{1, 0})});
+  EXPECT_EQ(a.length(), 2);
+  EXPECT_EQ(to_text(a), "[(1,true),(2,false)]");
+  EXPECT_THROW((void)descriptor_stack(a), RepresentationError);
+}
+
+TEST(Nested, AccessorsThrowOnWrongKind) {
+  Array a = Array::ints(IntVec{1});
+  EXPECT_THROW((void)a.lengths(), RepresentationError);
+  EXPECT_THROW((void)a.inner(), RepresentationError);
+  EXPECT_THROW((void)a.components(), RepresentationError);
+  EXPECT_THROW((void)a.real_values(), RepresentationError);
+  Array n = from_ints2({{1}});
+  EXPECT_THROW((void)n.int_values(), RepresentationError);
+}
+
+TEST(Nested, StructuralEquality) {
+  EXPECT_EQ(from_ints2({{1, 2}, {3}}), from_ints2({{1, 2}, {3}}));
+  EXPECT_FALSE(from_ints2({{1, 2}, {3}}) == from_ints2({{1}, {2, 3}}));
+  EXPECT_FALSE(from_ints2({{1}}) == from_ints({1}));
+}
+
+TEST(Nested, CopiesShareStructure) {
+  Array a = random_nested_ints(7, 3, 100, 4);
+  Array b = a;  // O(1) copy
+  EXPECT_EQ(a.node_identity(), b.node_identity());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Nested, RoundTripToText) {
+  Array a = from_ints3({{{1}, {}}, {}, {{2, 3}}});
+  EXPECT_EQ(to_text(a), "[[[1],[]],[],[[2,3]]]");
+}
+
+TEST(Nested, RealAndBoolLeaves) {
+  Array r = Array::reals(RealVec{0.5, 1.5});
+  EXPECT_EQ(to_text(r), "[0.5,1.5]");
+  Array b = Array::bools(vl::BoolVec{1, 0});
+  EXPECT_EQ(to_text(b), "[true,false]");
+}
+
+class RandomNestedValidation
+    : public ::testing::TestWithParam<std::tuple<int, Size>> {};
+
+TEST_P(RandomNestedValidation, GeneratedArraysAreConsistent) {
+  auto [depth, top] = GetParam();
+  Array a = random_nested_ints(1000 + static_cast<std::uint64_t>(depth), depth,
+                               top, 4);
+  a.validate();
+  EXPECT_EQ(spine_depth(a), depth);
+  EXPECT_EQ(descriptor_stack(a).size(), static_cast<std::size_t>(depth) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomNestedValidation,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5),
+                       ::testing::Values<Size>(0, 1, 16, 200)));
+
+}  // namespace
+}  // namespace proteus::seq

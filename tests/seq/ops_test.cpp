@@ -1,0 +1,135 @@
+// Tests for the structural kernels on the flat representation.
+#include <gtest/gtest.h>
+
+#include "seq/seq.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::seq {
+namespace {
+
+using vl::BoolVec;
+
+TEST(Gather, ScalarElements) {
+  Array a = from_ints({10, 20, 30});
+  EXPECT_EQ(to_text(gather(a, IntVec{2, 2, 0})), "[30,30,10]");
+}
+
+TEST(Gather, SequenceElements) {
+  Array a = from_ints2({{1, 2}, {}, {3, 4, 5}});
+  EXPECT_EQ(to_text(gather(a, IntVec{2, 0, 2, 1})),
+            "[[3,4,5],[1,2],[3,4,5],[]]");
+}
+
+TEST(Gather, DeepElements) {
+  Array a = from_ints3({{{1}, {2}}, {{3, 4}}});
+  EXPECT_EQ(to_text(gather(a, IntVec{1, 1, 0})),
+            "[[[3,4]],[[3,4]],[[1],[2]]]");
+}
+
+TEST(Gather, TupleElements) {
+  Array a = Array::tuple({from_ints({1, 2, 3}),
+                          from_ints2({{9}, {}, {8, 7}})});
+  EXPECT_EQ(to_text(gather(a, IntVec{2, 0})), "[(3,[8,7]),(1,[9])]");
+}
+
+TEST(Gather, OutOfRangeThrows) {
+  EXPECT_THROW((void)gather(from_ints({1}), IntVec{1}), EvalError);
+}
+
+TEST(Pack, RestrictOnRepresentation) {
+  Array a = from_ints2({{1}, {2, 2}, {}, {3}});
+  EXPECT_EQ(to_text(pack(a, BoolVec{1, 0, 1, 1})), "[[1],[],[3]]");
+}
+
+TEST(Pack, LengthMismatchThrows) {
+  EXPECT_THROW((void)pack(from_ints({1, 2}), BoolVec{1}), VectorError);
+}
+
+TEST(Combine, InterleavesByMask) {
+  Array t = from_ints2({{1}, {2, 2}});
+  Array f = from_ints2({{9, 9, 9}});
+  EXPECT_EQ(to_text(combine(BoolVec{1, 0, 1}, t, f)),
+            "[[1],[9,9,9],[2,2]]");
+}
+
+TEST(Combine, EmptySideWorks) {
+  Array t = from_ints({});
+  Array f = from_ints({4, 5});
+  EXPECT_EQ(to_text(combine(BoolVec{0, 0}, t, f)), "[4,5]");
+}
+
+TEST(Combine, StructureMismatchThrows) {
+  EXPECT_THROW((void)combine(BoolVec{1, 0}, from_ints({1}), from_ints2({{2}})),
+               RepresentationError);
+}
+
+TEST(CombinePack, InverseLawsOnNested) {
+  Array r = random_nested_ints(3, 2, 40, 4);
+  BoolVec m = random_mask(4, 40, 1, 2);
+  Array t = pack(r, m);
+  Array f = pack(r, vl::logical_not(m));
+  EXPECT_EQ(combine(m, t, f), r);
+}
+
+TEST(Concat, Nested) {
+  EXPECT_EQ(to_text(concat(from_ints2({{1}, {}}), from_ints2({{2, 3}}))),
+            "[[1],[],[2,3]]");
+}
+
+TEST(EmptyLike, PreservesStructure) {
+  Array a = from_ints3({{{1}}, {}});
+  Array e = empty_like(a);
+  EXPECT_EQ(e.length(), 0);
+  EXPECT_TRUE(same_structure(a, e));
+}
+
+TEST(BroadcastElement, ReplicatesOneElement) {
+  Array a = from_ints2({{1, 2}, {3}});
+  EXPECT_EQ(to_text(broadcast_element(a, 1, 3)), "[[3],[3],[3]]");
+  EXPECT_EQ(to_text(broadcast_element(a, 0, 0)), "[]");
+  EXPECT_THROW((void)broadcast_element(a, 2, 1), VectorError);
+}
+
+TEST(SegBroadcast, Dist1Semantics) {
+  // dist^1([10, 20], [3, 1]) elements: 10 thrice, 20 once.
+  EXPECT_EQ(to_text(seg_broadcast(from_ints({10, 20}), IntVec{3, 1})),
+            "[10,10,10,20]");
+}
+
+TEST(ElementAndSlice, Basic) {
+  Array a = from_ints({5, 6, 7, 8});
+  EXPECT_EQ(to_text(element(a, 2)), "[7]");
+  EXPECT_EQ(to_text(slice(a, 1, 2)), "[6,7]");
+  EXPECT_THROW((void)slice(a, 3, 2), VectorError);
+}
+
+TEST(SameStructure, Cases) {
+  EXPECT_TRUE(same_structure(from_ints({1}), from_ints({})));
+  EXPECT_FALSE(same_structure(from_ints({1}), from_ints2({{1}})));
+  EXPECT_TRUE(same_structure(from_ints2({{1}}), from_ints2({})));
+  EXPECT_FALSE(same_structure(Array::ints({}), Array::reals({})));
+}
+
+/// Property: gather distributes over nesting — gathering whole segments
+/// equals per-segment boxed selection.
+class GatherNestedProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GatherNestedProperty, MatchesBoxedSelection) {
+  const std::uint64_t seed = GetParam();
+  Array a = random_nested_ints(seed, 2, 25, 5);
+  IntVec idx = random_ints(seed + 1, 40, 0, 24);
+  Array got = gather(a, idx);
+  // reference via slow element/concat path
+  Array expect = empty_like(a);
+  for (Size i = 0; i < idx.size(); ++i) {
+    expect = concat(expect, element(a, idx[i]));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherNestedProperty,
+                         ::testing::Values<std::uint64_t>(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace proteus::seq

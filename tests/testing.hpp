@@ -1,0 +1,39 @@
+// testing.hpp — shared helpers for the proteus-vec test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/proteus.hpp"
+
+namespace proteus::testing {
+
+/// Builds a boxed value from a P literal (e.g. "[[1,2],[3]]").
+inline interp::Value val(std::string_view literal) {
+  return parse_value(literal);
+}
+
+/// Runs `fn(args...)` on both engines of `session` and asserts equality;
+/// returns the (reference) result for further checks.
+inline interp::Value both(Session& session, const std::string& fn,
+                          const interp::ValueList& args) {
+  interp::Value reference = session.run_reference(fn, args);
+  interp::Value vectorised = session.run_vector(fn, args);
+  EXPECT_EQ(reference, vectorised)
+      << fn << ": reference " << interp::to_text(reference) << " vs vector "
+      << interp::to_text(vectorised);
+  return reference;
+}
+
+/// Asserts both engines agree AND match an expected literal.
+inline void expect_both(Session& session, const std::string& fn,
+                        const interp::ValueList& args,
+                        std::string_view expected) {
+  interp::Value result = both(session, fn, args);
+  EXPECT_EQ(result, val(expected)) << fn << " = " << interp::to_text(result);
+}
+
+}  // namespace proteus::testing

@@ -1,0 +1,129 @@
+// Property sweep: every vl kernel family produces identical results on
+// the Serial and OpenMP backends (the vector model is deterministic; the
+// backend is a pure performance policy).
+#include <gtest/gtest.h>
+
+#include "seq/build.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+struct ParityCase {
+  std::uint64_t seed;
+  Size n;
+};
+
+class BackendParity : public ::testing::TestWithParam<ParityCase> {
+ protected:
+  void SetUp() override {
+    if (!openmp_available()) GTEST_SKIP();
+  }
+
+  template <typename F>
+  void expect_parity(F&& run) {
+    decltype(run()) serial;
+    {
+      BackendGuard g(Backend::kSerial);
+      serial = run();
+    }
+    BackendGuard g(Backend::kOpenMP);
+    EXPECT_EQ(serial, run());
+  }
+};
+
+TEST_P(BackendParity, Elementwise) {
+  const auto& p = GetParam();
+  IntVec a = seq::random_ints(p.seed, p.n, -999, 999);
+  IntVec b = seq::random_ints(p.seed + 1, p.n, 1, 999);
+  expect_parity([&] { return add(a, b); });
+  expect_parity([&] { return mul(a, b); });
+  expect_parity([&] { return div(a, b); });
+  expect_parity([&] { return lt(a, b); });
+  expect_parity([&] { return select(ge(a, b), a, b); });
+}
+
+TEST_P(BackendParity, ScansAndReductions) {
+  const auto& p = GetParam();
+  IntVec a = seq::random_ints(p.seed + 2, p.n, -999, 999);
+  expect_parity([&] { return scan_add(a); });
+  expect_parity([&] { return scan_max_inclusive(a); });
+  expect_parity([&] { return IntVec{reduce_add(a)}; });
+  expect_parity([&] { return IntVec{reduce_min(a)}; });
+}
+
+TEST_P(BackendParity, FlatPairScanOnSkewedSegments) {
+  // The OpenMP segmented scan uses the flag/value-pair algorithm over the
+  // flat vector; it must agree with the serial per-segment path on every
+  // segment profile, including one giant segment and many empty ones.
+  const auto& p = GetParam();
+  IntVec vals = seq::random_ints(p.seed + 20, p.n, -99, 99);
+  std::vector<IntVec> profiles;
+  profiles.push_back(IntVec{p.n});                      // one giant segment
+  {
+    IntVec lens{0, 0, p.n - 1, 0, 1, 0};                // empties + giant
+    profiles.push_back(lens);
+  }
+  {
+    IntVec lens;                                        // alternating 0/1/2
+    Size covered = 0;
+    Int k = 0;
+    while (covered < p.n) {
+      Int len = k % 3;
+      if (covered + len > p.n) len = p.n - covered;
+      lens.push_back(len);
+      covered += len;
+      ++k;
+    }
+    profiles.push_back(lens);
+  }
+  for (const IntVec& lens : profiles) {
+    expect_parity([&] { return seg_scan_add(vals, lens); });
+    expect_parity([&] { return seg_scan_add_inclusive(vals, lens); });
+    expect_parity([&] { return seg_scan_max_inclusive(vals, lens); });
+    expect_parity([&] { return seg_scan_min(vals, lens); });
+  }
+}
+
+TEST_P(BackendParity, SegmentedFamily) {
+  const auto& p = GetParam();
+  IntVec lens = seq::random_ints(p.seed + 3, p.n / 4 + 1, 0, 7);
+  IntVec vals = seq::random_ints(p.seed + 4, lengths_total(lens), -99, 99);
+  expect_parity([&] { return seg_scan_add_inclusive(vals, lens); });
+  expect_parity([&] { return seg_reduce_add(vals, lens); });
+  expect_parity([&] { return seg_iota1(lens); });
+  expect_parity([&] { return segment_ids(lens); });
+  expect_parity([&] { return segment_ranks(lens); });
+  IntVec small = seq::random_ints(p.seed + 5, lens.size(), -9, 9);
+  expect_parity([&] { return seg_dist(small, lens); });
+}
+
+TEST_P(BackendParity, MovementFamily) {
+  const auto& p = GetParam();
+  IntVec a = seq::random_ints(p.seed + 6, p.n, -999, 999);
+  IntVec idx = seq::random_ints(p.seed + 7, p.n, 0, p.n - 1);
+  BoolVec m = seq::random_mask(p.seed + 8, p.n, 1, 3);
+  expect_parity([&] { return gather(a, idx); });
+  expect_parity([&] { return pack(a, m); });
+  expect_parity([&] { return pack_indices(m); });
+  expect_parity([&] { return reverse(a); });
+  expect_parity([&] { return rotate(a, 13); });
+  Size trues = count(m);
+  IntVec t = seq::random_ints(p.seed + 9, trues, -9, 9);
+  IntVec f = seq::random_ints(p.seed + 10, p.n - trues, -9, 9);
+  expect_parity([&] { return combine(m, t, f); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BackendParity,
+                         ::testing::Values(ParityCase{100, 64},
+                                           ParityCase{101, 4096},
+                                           ParityCase{102, 4097},
+                                           ParityCase{103, 65536}));
+
+TEST(Sqrt, Elementwise) {
+  RealVec v{0.0, 1.0, 4.0, 2.25};
+  EXPECT_EQ(sqrt(v), (RealVec{0.0, 1.0, 2.0, 1.5}));
+}
+
+}  // namespace
+}  // namespace proteus::vl

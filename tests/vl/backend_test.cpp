@@ -1,0 +1,68 @@
+// Tests for the execution-policy plumbing and work counters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+TEST(Backend, DefaultIsSerial) {
+  EXPECT_EQ(backend(), Backend::kSerial);
+}
+
+TEST(Backend, GuardRestores) {
+  Backend before = backend();
+  {
+    BackendGuard guard(Backend::kOpenMP);
+    if (openmp_available()) {
+      EXPECT_EQ(backend(), Backend::kOpenMP);
+    }
+  }
+  EXPECT_EQ(backend(), before);
+}
+
+TEST(Backend, OpenMPFallsBackWhenUnavailable) {
+  // set_backend never leaves the process in an unrunnable state.
+  Backend prev = set_backend(Backend::kOpenMP);
+  if (!openmp_available()) {
+    EXPECT_EQ(backend(), Backend::kSerial);
+  }
+  set_backend(prev);
+}
+
+TEST(Backend, ThreadCountPositive) {
+  EXPECT_GE(backend_threads(), 1);
+}
+
+TEST(Stats, AccumulateAndReset) {
+  reset_stats();
+  EXPECT_EQ(stats().primitive_calls, 0u);
+  (void)iota(100, 0);
+  (void)scan_add(iota(100, 0));
+  EXPECT_GE(stats().primitive_calls, 3u);  // two iotas + one scan
+  EXPECT_GE(stats().element_work, 300u);
+  reset_stats();
+  EXPECT_EQ(stats().element_work, 0u);
+}
+
+TEST(Vec, BoundsCheckedAccess) {
+  IntVec v{1, 2, 3};
+  EXPECT_EQ(v[0], 1);
+  EXPECT_THROW((void)v[3], VectorError);
+  EXPECT_THROW((void)v[-1], VectorError);
+}
+
+TEST(Vec, NegativeSizeThrows) {
+  EXPECT_THROW((void)IntVec(Size{-1}), VectorError);
+}
+
+TEST(Vec, Printing) {
+  std::ostringstream os;
+  os << IntVec{1, 2} << ' ' << BoolVec{1, 0};
+  EXPECT_EQ(os.str(), "[1,2] [T,F]");
+}
+
+}  // namespace
+}  // namespace proteus::vl

@@ -1,0 +1,93 @@
+// Unit tests for replication / index generation — range1 and dist, which
+// Section 3 identifies as sufficient to rebuild all bound-variable
+// references inside nested iterators.
+#include <gtest/gtest.h>
+
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+TEST(Iota, Basic) {
+  EXPECT_EQ(iota(4, 0), (IntVec{0, 1, 2, 3}));
+  EXPECT_EQ(iota(3, 10), (IntVec{10, 11, 12}));
+  EXPECT_EQ(iota(0, 5), IntVec{});
+}
+
+TEST(Iota1, Range1Semantics) {
+  EXPECT_EQ(iota1(3), (IntVec{1, 2, 3}));
+  EXPECT_EQ(iota1(0), IntVec{});
+  EXPECT_EQ(iota1(-5), IntVec{});  // [1..n] is empty for n < 1
+}
+
+TEST(SegIota1, Range1ParallelExtension) {
+  // range1^1([3,0,2]) == [1,2,3, 1,2]
+  EXPECT_EQ(seg_iota1(IntVec{3, 0, 2}), (IntVec{1, 2, 3, 1, 2}));
+}
+
+TEST(SegIota1, NegativeCountsClampToEmpty) {
+  EXPECT_EQ(seg_iota1(IntVec{-2, 2}), (IntVec{1, 2}));
+}
+
+TEST(Dist, Basic) {
+  EXPECT_EQ(dist(Int{7}, 3), (IntVec{7, 7, 7}));
+  EXPECT_EQ(dist(Int{7}, 0), IntVec{});
+  EXPECT_EQ(dist(Real{1.5}, 2), (RealVec{1.5, 1.5}));
+  EXPECT_EQ(dist(Bool{1}, 2), (BoolVec{1, 1}));
+}
+
+TEST(Dist, NegativeCountThrows) {
+  EXPECT_THROW((void)dist(Int{1}, -1), VectorError);
+}
+
+TEST(SegDist, PaperExample) {
+  // dist([3,4,5],[3,2,1]) yields [[3,3,3],[4,4],[5]] — value vector:
+  EXPECT_EQ(seg_dist(IntVec{3, 4, 5}, IntVec{3, 2, 1}),
+            (IntVec{3, 3, 3, 4, 4, 5}));
+}
+
+TEST(SegDist, EmptyCounts) {
+  EXPECT_EQ(seg_dist(IntVec{1, 2}, IntVec{0, 0}), IntVec{});
+}
+
+TEST(SegDist, MismatchThrows) {
+  EXPECT_THROW((void)seg_dist(IntVec{1}, IntVec{1, 1}), VectorError);
+}
+
+TEST(Range, General) {
+  EXPECT_EQ(range(2, 5, 1), (IntVec{2, 3, 4, 5}));
+  EXPECT_EQ(range(5, 2, -1), (IntVec{5, 4, 3, 2}));
+  EXPECT_EQ(range(1, 10, 3), (IntVec{1, 4, 7, 10}));
+  EXPECT_EQ(range(5, 2, 1), IntVec{});  // moves away from hi
+  EXPECT_EQ(range(3, 3, 1), (IntVec{3}));
+}
+
+TEST(Range, ZeroStepThrows) { EXPECT_THROW((void)range(1, 2, 0), VectorError); }
+
+/// Property: seg_iota1(ns) has descriptor ns (clamped), and each segment
+/// is exactly [1..ns[s]].
+class SegIotaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegIotaProperty, SegmentsAreRanges) {
+  const int variant = GetParam();
+  IntVec ns;
+  for (int i = 0; i < 50; ++i) {
+    ns.push_back((i * 7 + variant) % 11 - 2);  // mix of negatives and sizes
+  }
+  IntVec flat = seg_iota1(ns);
+  Size pos = 0;
+  for (Size s = 0; s < ns.size(); ++s) {
+    Int n = ns[s] < 0 ? 0 : ns[s];
+    for (Int k = 1; k <= n; ++k) {
+      ASSERT_LT(pos, flat.size());
+      EXPECT_EQ(flat[pos++], k);
+    }
+  }
+  EXPECT_EQ(pos, flat.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SegIotaProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace proteus::vl

@@ -1,0 +1,81 @@
+// Unit and property tests for pack (restrict) and combine — the data
+// routing of flattened conditionals (rule R2d).
+#include <gtest/gtest.h>
+
+#include "seq/build.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+TEST(Pack, Basic) {
+  EXPECT_EQ(pack(IntVec{1, 2, 3, 4}, BoolVec{1, 0, 0, 1}), (IntVec{1, 4}));
+}
+
+TEST(Pack, AllAndNone) {
+  EXPECT_EQ(pack(IntVec{1, 2}, BoolVec{1, 1}), (IntVec{1, 2}));
+  EXPECT_EQ(pack(IntVec{1, 2}, BoolVec{0, 0}), IntVec{});
+  EXPECT_EQ(pack(IntVec{}, BoolVec{}), IntVec{});
+}
+
+TEST(Pack, MismatchThrows) {
+  EXPECT_THROW((void)pack(IntVec{1}, BoolVec{1, 0}), VectorError);
+}
+
+TEST(Pack, Indices) {
+  EXPECT_EQ(pack_indices(BoolVec{0, 1, 1, 0, 1}), (IntVec{1, 2, 4}));
+  EXPECT_EQ(pack_indices(BoolVec{}), IntVec{});
+}
+
+TEST(Combine, Basic) {
+  EXPECT_EQ(combine(BoolVec{1, 0, 0, 1, 0}, IntVec{10, 20},
+                    IntVec{1, 2, 3}),
+            (IntVec{10, 1, 2, 20, 3}));
+}
+
+TEST(Combine, SizeRulesEnforced) {
+  EXPECT_THROW((void)combine(BoolVec{1, 0}, IntVec{1, 2}, IntVec{3}), VectorError);
+  EXPECT_THROW((void)combine(BoolVec{1, 1}, IntVec{1}, IntVec{2}), VectorError);
+}
+
+TEST(SegPackLengths, SurvivorCounts) {
+  // segments [a,b][c][d,e,f] with mask 1,0 | 1 | 0,0,1
+  EXPECT_EQ(seg_pack_lengths(IntVec{2, 1, 3}, BoolVec{1, 0, 1, 0, 0, 1}),
+            (IntVec{1, 1, 1}));
+}
+
+TEST(Concat, Basic) {
+  EXPECT_EQ(concat(IntVec{1, 2}, IntVec{3}), (IntVec{1, 2, 3}));
+  EXPECT_EQ(concat(IntVec{}, IntVec{}), IntVec{});
+}
+
+/// The paper's defining identities:
+///   restrict(combine(M,V,U), M) == V
+///   restrict(combine(M,V,U), not M) == U
+/// and conversely combine(M, restrict(R,M), restrict(R,not M)) == R.
+class PackCombineLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackCombineLaws, CombineThenRestrict) {
+  const std::uint64_t seed = GetParam();
+  BoolVec m = seq::random_mask(seed, 500, 1, 3);
+  Size trues = count(m);
+  IntVec v = seq::random_ints(seed + 1, trues, -99, 99);
+  IntVec u = seq::random_ints(seed + 2, m.size() - trues, -99, 99);
+  IntVec r = combine(m, v, u);
+  EXPECT_EQ(pack(r, m), v);
+  EXPECT_EQ(pack(r, logical_not(m)), u);
+}
+
+TEST_P(PackCombineLaws, RestrictThenCombine) {
+  const std::uint64_t seed = GetParam();
+  BoolVec m = seq::random_mask(seed + 10, 321, 2, 5);
+  IntVec r = seq::random_ints(seed + 11, 321, -99, 99);
+  EXPECT_EQ(combine(m, pack(r, m), pack(r, logical_not(m))), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackCombineLaws,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                          8));
+
+}  // namespace
+}  // namespace proteus::vl

@@ -1,0 +1,114 @@
+// Unit and property tests for reductions and segmented reductions.
+#include <gtest/gtest.h>
+
+#include "seq/build.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+TEST(Reduce, Add) {
+  EXPECT_EQ(reduce_add(IntVec{1, 2, 3}), 6);
+  EXPECT_EQ(reduce_add(IntVec{}), 0);
+  EXPECT_EQ(reduce_add(RealVec{0.5, 0.25}), 0.75);
+}
+
+TEST(Reduce, MaxMin) {
+  EXPECT_EQ(reduce_max(IntVec{3, 9, 2}), 9);
+  EXPECT_EQ(reduce_min(IntVec{3, 9, 2}), 2);
+}
+
+TEST(Reduce, BoolReductions) {
+  EXPECT_EQ(reduce_or(BoolVec{0, 0, 1}), 1);
+  EXPECT_EQ(reduce_or(BoolVec{0, 0}), 0);
+  EXPECT_EQ(reduce_and(BoolVec{1, 1}), 1);
+  EXPECT_EQ(reduce_and(BoolVec{1, 0}), 0);
+  // identities on the empty vector
+  EXPECT_EQ(reduce_or(BoolVec{}), 0);
+  EXPECT_EQ(reduce_and(BoolVec{}), 1);
+}
+
+TEST(Reduce, AnyAllCount) {
+  EXPECT_TRUE(any(BoolVec{0, 1}));
+  EXPECT_FALSE(any(BoolVec{0, 0}));
+  EXPECT_TRUE(all(BoolVec{1, 1}));
+  EXPECT_FALSE(all(BoolVec{1, 0}));
+  EXPECT_EQ(count(BoolVec{1, 0, 1, 1}), 3);
+  EXPECT_EQ(count(BoolVec{}), 0);
+}
+
+TEST(SegReduce, Add) {
+  EXPECT_EQ(seg_reduce_add(IntVec{1, 2, 3, 4, 5}, IntVec{2, 0, 3}),
+            (IntVec{3, 0, 12}));
+}
+
+TEST(SegReduce, MaxOnEmptySegmentYieldsIdentity) {
+  IntVec result = seg_reduce_max(IntVec{7}, IntVec{0, 1});
+  EXPECT_EQ(result[1], 7);
+  EXPECT_EQ(result[0], std::numeric_limits<Int>::lowest());
+}
+
+TEST(SegReduce, BoolSegments) {
+  EXPECT_EQ(seg_reduce_or(BoolVec{0, 1, 0, 0}, IntVec{2, 2}), (BoolVec{1, 0}));
+  EXPECT_EQ(seg_reduce_and(BoolVec{1, 1, 1, 0}, IntVec{2, 2}),
+            (BoolVec{1, 0}));
+}
+
+TEST(SegReduce, DescriptorMismatchThrows) {
+  EXPECT_THROW((void)seg_reduce_add(IntVec{1, 2, 3}, IntVec{2, 2}), VectorError);
+}
+
+struct RedCase {
+  std::uint64_t seed;
+  Size segments;
+  Size max_len;
+  Backend backend;
+};
+
+class SegReduceProperty : public ::testing::TestWithParam<RedCase> {};
+
+TEST_P(SegReduceProperty, MatchesPerSegmentReduce) {
+  const auto& p = GetParam();
+  if (p.backend == Backend::kOpenMP && !openmp_available()) GTEST_SKIP();
+  BackendGuard guard(p.backend);
+
+  IntVec lens = seq::random_ints(p.seed, p.segments, 0, p.max_len);
+  IntVec values = seq::random_ints(p.seed + 7, lengths_total(lens), -99, 99);
+
+  IntVec sums = seg_reduce_add(values, lens);
+  ASSERT_EQ(sums.size(), lens.size());
+  Size pos = 0;
+  for (Size s = 0; s < lens.size(); ++s) {
+    Int acc = 0;
+    for (Int k = 0; k < lens[s]; ++k) acc += values[pos++];
+    EXPECT_EQ(sums[s], acc) << "segment " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SegReduceProperty,
+    ::testing::Values(RedCase{10, 1, 4, Backend::kSerial},
+                      RedCase{11, 50, 9, Backend::kSerial},
+                      RedCase{12, 2000, 10, Backend::kSerial},
+                      RedCase{13, 2000, 10, Backend::kOpenMP},
+                      RedCase{14, 1, 100000, Backend::kOpenMP}));
+
+/// Property: reduce == inclusive scan's last element.
+class ReduceScanAgreement : public ::testing::TestWithParam<Size> {};
+
+TEST_P(ReduceScanAgreement, ReduceIsScanLast) {
+  const Size n = GetParam();
+  IntVec v = seq::random_ints(42 + static_cast<std::uint64_t>(n), n, -10, 10);
+  if (n == 0) {
+    EXPECT_EQ(reduce_add(v), 0);
+    return;
+  }
+  EXPECT_EQ(reduce_add(v), scan_add_inclusive(v)[n - 1]);
+  EXPECT_EQ(reduce_max(v), scan_max_inclusive(v)[n - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceScanAgreement,
+                         ::testing::Values<Size>(0, 1, 3, 100, 9999));
+
+}  // namespace
+}  // namespace proteus::vl

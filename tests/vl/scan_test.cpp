@@ -1,0 +1,132 @@
+// Unit and property tests for scans and segmented scans.
+#include <gtest/gtest.h>
+
+#include "seq/build.hpp"
+#include "vl/vl.hpp"
+
+namespace proteus::vl {
+namespace {
+
+TEST(Scan, ExclusiveAdd) {
+  EXPECT_EQ(scan_add(IntVec{1, 2, 3, 4}), (IntVec{0, 1, 3, 6}));
+}
+
+TEST(Scan, InclusiveAdd) {
+  EXPECT_EQ(scan_add_inclusive(IntVec{1, 2, 3, 4}), (IntVec{1, 3, 6, 10}));
+}
+
+TEST(Scan, Empty) {
+  EXPECT_EQ(scan_add(IntVec{}), IntVec{});
+  EXPECT_EQ(scan_add_inclusive(IntVec{}), IntVec{});
+}
+
+TEST(Scan, AddTotalReportsSum) {
+  Int total = -1;
+  EXPECT_EQ(scan_add_total(IntVec{5, 5, 5}, total), (IntVec{0, 5, 10}));
+  EXPECT_EQ(total, 15);
+}
+
+TEST(Scan, MaxMin) {
+  EXPECT_EQ(scan_max_inclusive(IntVec{3, 1, 4, 1, 5}), (IntVec{3, 3, 4, 4, 5}));
+  EXPECT_EQ(scan_min_inclusive(IntVec{3, 1, 4, 1, 5}), (IntVec{3, 1, 1, 1, 1}));
+}
+
+TEST(Scan, BoolScans) {
+  EXPECT_EQ(scan_or_inclusive(BoolVec{0, 0, 1, 0}), (BoolVec{0, 0, 1, 1}));
+  EXPECT_EQ(scan_and_inclusive(BoolVec{1, 1, 0, 1}), (BoolVec{1, 1, 0, 0}));
+}
+
+TEST(Scan, RealScan) {
+  EXPECT_EQ(scan_add_inclusive(RealVec{0.5, 0.5, 1.0}),
+            (RealVec{0.5, 1.0, 2.0}));
+}
+
+TEST(SegScan, RestartsPerSegment) {
+  // segments: [1,2,3] [4] [] [5,6]
+  IntVec values{1, 2, 3, 4, 5, 6};
+  IntVec lens{3, 1, 0, 2};
+  EXPECT_EQ(seg_scan_add(values, lens), (IntVec{0, 1, 3, 0, 0, 5}));
+  EXPECT_EQ(seg_scan_add_inclusive(values, lens), (IntVec{1, 3, 6, 4, 5, 11}));
+}
+
+TEST(SegScan, MaxPerSegment) {
+  EXPECT_EQ(seg_scan_max_inclusive(IntVec{1, 5, 2, 9, 3}, IntVec{3, 2}),
+            (IntVec{1, 5, 5, 9, 9}));
+}
+
+TEST(SegScan, BadDescriptorThrows) {
+  EXPECT_THROW((void)seg_scan_add(IntVec{1, 2}, IntVec{3}), VectorError);
+  EXPECT_THROW((void)seg_scan_add(IntVec{1, 2}, IntVec{3, -1}), VectorError);
+}
+
+/// Property: a segmented scan equals independent flat scans per segment,
+/// on both backends.
+struct SegScanCase {
+  std::uint64_t seed;
+  Size segments;
+  Size max_len;
+  Backend backend;
+};
+
+class SegScanProperty : public ::testing::TestWithParam<SegScanCase> {};
+
+TEST_P(SegScanProperty, MatchesPerSegmentScan) {
+  const auto& p = GetParam();
+  if (p.backend == Backend::kOpenMP && !openmp_available()) GTEST_SKIP();
+  BackendGuard guard(p.backend);
+
+  IntVec lens = seq::random_ints(p.seed, p.segments, 0, p.max_len);
+  const Size total = lengths_total(lens);
+  IntVec values = seq::random_ints(p.seed + 1, total, -100, 100);
+
+  IntVec got = seg_scan_add_inclusive(values, lens);
+
+  IntVec expected(total);
+  Size pos = 0;
+  for (Size s = 0; s < lens.size(); ++s) {
+    Int acc = 0;
+    for (Int k = 0; k < lens[s]; ++k) {
+      acc += values[pos];
+      expected[pos] = acc;
+      ++pos;
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SegScanProperty,
+    ::testing::Values(SegScanCase{1, 1, 5, Backend::kSerial},
+                      SegScanCase{2, 10, 8, Backend::kSerial},
+                      SegScanCase{3, 100, 50, Backend::kSerial},
+                      SegScanCase{4, 1000, 20, Backend::kSerial},
+                      SegScanCase{5, 10, 8, Backend::kOpenMP},
+                      SegScanCase{6, 1000, 20, Backend::kOpenMP},
+                      SegScanCase{7, 5000, 3, Backend::kOpenMP}));
+
+/// Property: the blocked OpenMP scan equals the serial scan.
+class ScanBackendProperty : public ::testing::TestWithParam<Size> {};
+
+TEST_P(ScanBackendProperty, OpenMPMatchesSerial) {
+  if (!openmp_available()) GTEST_SKIP();
+  const Size n = GetParam();
+  IntVec v = seq::random_ints(99, n, -1000, 1000);
+  IntVec serial;
+  IntVec threaded;
+  {
+    BackendGuard g(Backend::kSerial);
+    serial = scan_add(v);
+  }
+  {
+    BackendGuard g(Backend::kOpenMP);
+    threaded = scan_add(v);
+  }
+  EXPECT_EQ(serial, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanBackendProperty,
+                         ::testing::Values<Size>(0, 1, 2, 4095, 4096, 4097,
+                                                 100000));
+
+}  // namespace
+}  // namespace proteus::vl

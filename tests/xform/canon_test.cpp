@@ -1,0 +1,170 @@
+// Tests for rule R1 (iterator canonical form) and the filtered-iterator
+// desugaring.
+#include <gtest/gtest.h>
+
+#include "core/proteus.hpp"
+#include "interp/interp.hpp"
+#include "lang/lang.hpp"
+#include "xform/canon.hpp"
+
+namespace proteus::xform {
+namespace {
+
+using namespace lang;
+
+ExprPtr canon_expr(std::string_view program, std::string_view expr) {
+  Program checked = typecheck(parse_program(program));
+  ExprPtr typed = typecheck_expression(checked, parse_expression(expr));
+  NameGen names;
+  return canonicalize(typed, names);
+}
+
+/// Collects every iterator in an expression.
+void iterators(const ExprPtr& e, std::vector<const Iterator*>& out) {
+  if (e == nullptr) return;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, Iterator>) {
+          out.push_back(&node);
+          iterators(node.domain, out);
+          iterators(node.filter, out);
+          iterators(node.body, out);
+        } else if constexpr (std::is_same_v<T, Let>) {
+          iterators(node.init, out);
+          iterators(node.body, out);
+        } else if constexpr (std::is_same_v<T, If>) {
+          iterators(node.cond, out);
+          iterators(node.then_expr, out);
+          iterators(node.else_expr, out);
+        } else if constexpr (std::is_same_v<T, PrimCall> ||
+                             std::is_same_v<T, FunCall>) {
+          for (const auto& a : node.args) iterators(a, out);
+        } else if constexpr (std::is_same_v<T, IndirectCall>) {
+          iterators(node.fn, out);
+          for (const auto& a : node.args) iterators(a, out);
+        } else if constexpr (std::is_same_v<T, TupleExpr> ||
+                             std::is_same_v<T, SeqExpr>) {
+          for (const auto& a : node.elems) iterators(a, out);
+        } else if constexpr (std::is_same_v<T, TupleGet>) {
+          iterators(node.tuple, out);
+        }
+      },
+      e->node);
+}
+
+void expect_canonical(const ExprPtr& e) {
+  std::vector<const Iterator*> its;
+  iterators(e, its);
+  for (const Iterator* it : its) {
+    EXPECT_EQ(it->filter, nullptr) << "filter survived canonicalization";
+    const auto* dom = as<PrimCall>(it->domain);
+    ASSERT_NE(dom, nullptr);
+    EXPECT_EQ(dom->op, Prim::kRange1) << "domain is not range1";
+  }
+}
+
+TEST(Canon, AlreadyCanonicalKept) {
+  ExprPtr e = canon_expr("", "[i <- [1 .. 9] : i * 2]");
+  const auto* it = as<Iterator>(e);
+  ASSERT_NE(it, nullptr) << "no let-wrapping expected for canonical domains";
+  EXPECT_EQ(it->var, "i");
+  expect_canonical(e);
+}
+
+TEST(Canon, IdentityIteratorIsItsDomain) {
+  // [x <- d : x] == d (ubiquitous after filter desugaring).
+  ExprPtr e = canon_expr("", "[i <- [1 .. 9] : i]");
+  EXPECT_EQ(as<Iterator>(e), nullptr);
+  lang::Program empty;
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(e), parse_value("[1,2,3,4,5,6,7,8,9]"));
+}
+
+TEST(Canon, GeneralDomainRewritten) {
+  ExprPtr e = canon_expr("", "[x <- [5,7,9] : x + 1]");
+  // R1: let _v = [5,7,9] in [_i <- range1(#_v) : let x = _v[_i] in x + 1]
+  const auto* let = as<Let>(e);
+  ASSERT_NE(let, nullptr);
+  expect_canonical(e);
+  // semantics preserved
+  lang::Program empty;
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(e), parse_value("[6,8,10]"));
+}
+
+TEST(Canon, FilterDesugared) {
+  ExprPtr e = canon_expr("", "[x <- [1 .. 10] | x mod 2 == 0 : x * x]");
+  expect_canonical(e);
+  lang::Program empty;
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(e), parse_value("[4,16,36,64,100]"));
+}
+
+TEST(Canon, NestedIteratorsAllCanonical) {
+  ExprPtr e = canon_expr(
+      "", "[v <- [[1,2],[3]] : [x <- v | x > 1 : x]]");
+  expect_canonical(e);
+  lang::Program empty;
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(e), parse_value("[[2],[3]]"));
+}
+
+TEST(Canon, RangeWithNonUnitLowerBoundRewritten) {
+  ExprPtr e = canon_expr("", "[i <- [3 .. 5] : i]");
+  expect_canonical(e);
+  lang::Program empty;
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(e), parse_value("[3,4,5]"));
+}
+
+TEST(Canon, ProgramBodiesCanonicalized) {
+  Program checked = typecheck(parse_program(R"(
+    fun evens(v: seq(int)): seq(int) = [x <- v | x mod 2 == 0 : x]
+  )"));
+  NameGen names;
+  Program canon = canonicalize(checked, names);
+  std::vector<const Iterator*> its;
+  iterators(canon.find("evens")->body, its);
+  // the mask iterator remains; the main (identity) iterator reduced to
+  // restrict(d, m)
+  EXPECT_GE(its.size(), 1u);
+  for (const Iterator* it : its) EXPECT_EQ(it->filter, nullptr);
+}
+
+/// Property: canonicalization preserves interpreter semantics.
+class CanonSemantics : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CanonSemantics, Preserved) {
+  const char* src = GetParam();
+  lang::Program empty;
+  ExprPtr typed = typecheck_expression(empty, parse_expression(src));
+  NameGen names;
+  ExprPtr canon = canonicalize(typed, names);
+  interp::Interpreter in(empty);
+  EXPECT_EQ(in.eval(typed), in.eval(canon)) << src;
+}
+
+TEST(Canon, Idempotent) {
+  Program checked = typecheck(parse_program(R"(
+    fun f(v: seq(int)): seq(int) = [x <- v | x > 0 : x * 2]
+    fun g(n: int): seq(seq(int)) = [i <- [1 .. n] : [j <- [1 .. i] : j]]
+  )"));
+  NameGen names;
+  Program once = canonicalize(checked, names);
+  Program twice = canonicalize(once, names);
+  EXPECT_EQ(to_text(twice), to_text(once));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, CanonSemantics,
+    ::testing::Values(
+        "[i <- [1 .. 6] : i * i]",
+        "[x <- [4,5,6] : x - 1]",
+        "[x <- [9,8,7] | x mod 2 == 1 : x]",
+        "[v <- [[1],[2,3],([] : seq(int))] : #v]",
+        "[i <- [1 .. 3] : [j <- [1 .. i] | j != 2 : j * 10]]",
+        "sum([x <- [1 .. 100] | x mod 3 == 0 : x])"));
+
+}  // namespace
+}  // namespace proteus::xform

@@ -1,0 +1,113 @@
+// The V-form verifier run over every program in the repository (and over
+// deliberately broken trees to prove it catches violations).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/proteus.hpp"
+#include "xform/verify.hpp"
+
+namespace proteus::xform {
+namespace {
+
+void expect_valid(const char* program, const char* entry = "") {
+  Session s(program, entry);
+  verify_vector_program(s.compiled().vec);
+  if (s.compiled().entry_vec != nullptr) {
+    verify_vector_expression(s.compiled().vec, s.compiled().entry_vec);
+  }
+}
+
+TEST(Verify, AcceptsAllPipelineOutputs) {
+  expect_valid("fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]",
+               "[k <- [1 .. 5] : sqs(k)]");
+  expect_valid(R"(
+    fun quicksort(v: seq(int)): seq(int) =
+      if #v <= 1 then v
+      else
+        let pivot = v[1 + (#v / 2)] in
+        let parts = [p <- [[x <- v | x < pivot : x],
+                           [x <- v | x > pivot : x]] : quicksort(p)] in
+        parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+  )");
+  expect_valid(R"(
+    fun add2(a: int, b: int): int = a + b
+    fun fold(f: (int,int) -> int, z: int, v: seq(int)): int =
+      if #v == 0 then z
+      else f(fold(f, z, [i <- [1 .. #v - 1] : v[i]]), v[#v])
+    fun use(m: seq(seq(int))): seq(int) = [row <- m : fold(add2, 0, row)]
+  )");
+  expect_valid(R"(
+    fun d4(n: int): seq(seq(seq(seq(int)))) =
+      [a <- [1 .. n] : [b <- [1 .. a] : [c <- [1 .. b] : [d <- [1 .. c] :
+        a * b + c * d]]]]
+  )");
+  expect_valid(R"(
+    fun pairs(v: seq(int)): seq((int, (int, bool))) =
+      [x <- v : (x, (x * 2, x > 0))]
+  )");
+}
+
+TEST(Verify, AcceptsSampleProgramFiles) {
+  for (const char* path : {"examples/programs/sort.p",
+                           "examples/programs/stats.p",
+                           "examples/programs/primes.p"}) {
+    std::ifstream in(std::string(PROTEUS_SOURCE_DIR) + "/" + path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SCOPED_TRACE(path);
+    expect_valid(buf.str().c_str());
+  }
+}
+
+TEST(Verify, RejectsSurvivingIterator) {
+  Session s("fun f(n: int): seq(int) = [i <- [1 .. n] : i]");
+  // The *checked* (untransformed) program must fail V verification.
+  EXPECT_THROW(verify_vector_program(s.compiled().checked), TransformError);
+}
+
+TEST(Verify, RejectsOutOfScopeVariable) {
+  using namespace lang;
+  Program empty;
+  ExprPtr stray = make_expr(VarRef{"ghost", false}, Type::int_());
+  EXPECT_THROW(verify_vector_expression(empty, stray), TransformError);
+  EXPECT_NO_THROW(verify_vector_expression(empty, stray, {"ghost"}));
+}
+
+TEST(Verify, RejectsDeepExtensions) {
+  using namespace lang;
+  Program empty;
+  ExprPtr v = make_expr(VarRef{"v", false},
+                        Type::seq_n(Type::int_(), 2));
+  ExprPtr deep = make_expr(PrimCall{Prim::kMul, 2, {v, v}, {1, 1}},
+                           Type::seq_n(Type::int_(), 2));
+  EXPECT_THROW(verify_vector_expression(empty, deep, {"v"}), TransformError);
+}
+
+TEST(Verify, RejectsMissingTypeAnnotation) {
+  using namespace lang;
+  Program empty;
+  ExprPtr untyped = make_expr(IntLit{1});  // no type
+  EXPECT_THROW(verify_vector_expression(empty, untyped), TransformError);
+}
+
+TEST(Verify, RejectsUnknownCallTarget) {
+  using namespace lang;
+  Program empty;
+  ExprPtr call = make_expr(FunCall{"nosuch", 0, {}, {}}, Type::int_());
+  EXPECT_THROW(verify_vector_expression(empty, call), TransformError);
+}
+
+TEST(Verify, RejectsAllBroadcastDepthOneCall) {
+  using namespace lang;
+  Program empty;
+  ExprPtr one = make_expr(IntLit{1}, Type::int_());
+  ExprPtr bad = make_expr(PrimCall{Prim::kAdd, 1, {one, one}, {0, 0}},
+                          Type::seq(Type::int_()));
+  EXPECT_THROW(verify_vector_expression(empty, bad), TransformError);
+}
+
+}  // namespace
+}  // namespace proteus::xform

@@ -1,0 +1,204 @@
+// proteusc — command-line driver for the proteus-vec pipeline.
+//
+//   proteusc FILE.p [options]
+//
+//   --entry EXPR       expression to evaluate in the program's scope
+//   --call F A1 A2 ..  call function F with P literals as arguments
+//   --engine E         vec (default) | ref | both (compare)
+//   --dump STAGE       print a stage instead of running:
+//                      checked | canon | flat | vec | trace
+//   --stats            print cost counters after the run
+//   --naive            disable the Section 4.5 optimizations (ablation)
+//   --backend B        serial (default) | openmp — vl execution policy
+//
+// Examples:
+//   proteusc examples/programs/sort.p --call quicksort '[3,1,2]'
+//   proteusc examples/programs/sort.p --entry '[k <- [1..5] : sqs(k)]' --dump vec
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/proteus.hpp"
+#include "lang/printer.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& err = {}) {
+  if (!err.empty()) std::cerr << "proteusc: " << err << "\n\n";
+  std::cerr <<
+      "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
+      "                [--engine vec|ref|both] [--dump checked|canon|flat|vec]\n"
+      "                [--stats] [--naive]\n";
+  std::exit(err.empty() ? 0 : 2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void print_stats(const proteus::RunCost& cost, bool vector_engine) {
+  if (vector_engine) {
+    std::cerr << "[stats] vector primitives: "
+              << cost.vector_work.primitive_calls
+              << ", element work: " << cost.vector_work.element_work
+              << ", user calls: " << cost.vector_ops.calls << '\n';
+    std::cerr << "[stats] instruction mix:";
+    for (const auto& [op, count] : cost.vector_ops.per_prim) {
+      std::cerr << ' ' << proteus::lang::prim_name(op) << '=' << count;
+    }
+    std::cerr << '\n';
+  } else {
+    std::cerr << "[stats] iterator iterations: " << cost.reference.iterations
+              << ", scalar ops (work): " << cost.reference.scalar_ops
+              << ", steps (critical path): " << cost.reference.steps
+              << ", user calls: " << cost.reference.calls << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+
+  std::string file;
+  std::string entry;
+  std::string call;
+  std::vector<std::string> call_args;
+  std::string engine = "vec";
+  std::string dump;
+  bool stats = false;
+  bool naive = false;
+  std::string backend = "serial";
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* what) -> std::string {
+      if (++i >= args.size()) usage(std::string("missing value for ") + what);
+      return args[i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+    } else if (a == "--entry") {
+      entry = next("--entry");
+    } else if (a == "--call") {
+      call = next("--call");
+      while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        call_args.push_back(args[++i]);
+      }
+    } else if (a == "--engine") {
+      engine = next("--engine");
+    } else if (a == "--dump") {
+      dump = next("--dump");
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--naive") {
+      naive = true;
+    } else if (a == "--backend") {
+      backend = next("--backend");
+    } else if (a.rfind("--", 0) == 0) {
+      usage("unknown option '" + a + "'");
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      usage("multiple input files");
+    }
+  }
+  if (file.empty()) usage("no input file");
+  if (engine != "vec" && engine != "ref" && engine != "both") {
+    usage("--engine must be vec, ref, or both");
+  }
+  if (backend == "openmp") {
+    proteus::vl::set_backend(proteus::vl::Backend::kOpenMP);
+    if (proteus::vl::backend() != proteus::vl::Backend::kOpenMP) {
+      std::cerr << "proteusc: OpenMP backend unavailable, using serial\n";
+    }
+  } else if (backend != "serial") {
+    usage("--backend must be serial or openmp");
+  }
+
+  try {
+    proteus::xform::PipelineOptions options;
+    options.collect_trace = dump == "trace";
+    if (naive) {
+      options.flatten.broadcast_invariant_seq_args = false;
+      options.shared_row_gather = false;
+    }
+    proteus::Session session(read_file(file), entry, options);
+
+    if (dump == "trace") {
+      for (const std::string& line : session.compiled().derivation) {
+        std::cout << line << '\n';
+      }
+      return 0;
+    }
+    if (!dump.empty()) {
+      const auto& c = session.compiled();
+      const proteus::lang::Program* stage = nullptr;
+      const proteus::lang::ExprPtr* entry_stage = nullptr;
+      if (dump == "checked") {
+        stage = &c.checked;
+        entry_stage = &c.entry_checked;
+      } else if (dump == "canon") {
+        stage = &c.canonical;
+      } else if (dump == "flat") {
+        stage = &c.flat;
+        entry_stage = &c.entry_flat;
+      } else if (dump == "vec") {
+        stage = &c.vec;
+        entry_stage = &c.entry_vec;
+      } else {
+        usage("--dump must be checked, canon, flat, or vec");
+      }
+      std::cout << proteus::lang::to_text(*stage);
+      if (entry_stage != nullptr && *entry_stage != nullptr) {
+        std::cout << "// entry:\n"
+                  << proteus::lang::to_text(*entry_stage) << '\n';
+      }
+      return 0;
+    }
+
+    auto run = [&](bool vector_engine) -> proteus::interp::Value {
+      proteus::interp::Value result;
+      if (!call.empty()) {
+        proteus::interp::ValueList values;
+        for (const std::string& lit : call_args) {
+          values.push_back(proteus::parse_value(lit));
+        }
+        result = vector_engine ? session.run_vector(call, values)
+                               : session.run_reference(call, values);
+      } else if (!entry.empty()) {
+        result = vector_engine ? session.run_entry_vector()
+                               : session.run_entry_reference();
+      } else {
+        usage("nothing to run: give --entry or --call (or --dump)");
+      }
+      if (stats) print_stats(session.last_cost(), vector_engine);
+      return result;
+    };
+
+    if (engine == "both") {
+      proteus::interp::Value ref = run(false);
+      proteus::interp::Value vec = run(true);
+      std::cout << vec << '\n';
+      if (!(ref == vec)) {
+        std::cerr << "proteusc: ENGINE MISMATCH\n  ref: " << ref
+                  << "\n  vec: " << vec << '\n';
+        return 1;
+      }
+      std::cerr << "[both] engines agree\n";
+    } else {
+      std::cout << run(engine == "vec") << '\n';
+    }
+    return 0;
+  } catch (const proteus::Error& e) {
+    std::cerr << "proteusc: " << e.what() << '\n';
+    return 1;
+  }
+}
