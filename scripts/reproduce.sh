@@ -7,4 +7,7 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt and bench_output.txt"
+# Engine comparison: bytecode VM vs tree-walking executor over the shared
+# kernel table (identical work counters; any delta is dispatch overhead).
+build/bench/bench_vm_dispatch 2>&1 | tee vm_dispatch_output.txt
+echo "done: see test_output.txt, bench_output.txt and vm_dispatch_output.txt"

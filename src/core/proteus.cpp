@@ -57,6 +57,23 @@ Value Session::run_vector(const std::string& name, const ValueList& args) {
   return exec::to_boxed(result, f.result);
 }
 
+Value Session::run_vm(const std::string& name, const ValueList& args) {
+  const FunDef& f = checked_fun(name);
+  PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
+                  "'" + name + "' called with wrong argument count");
+  std::vector<exec::VValue> vargs;
+  vargs.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+  }
+  vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
+  vl::reset_stats();
+  exec::VValue result = machine.call_function(name, vargs);
+  cost_.vm_ops = machine.stats();
+  cost_.vector_work = vl::stats();
+  return exec::to_boxed(result, f.result);
+}
+
 Value Session::run_entry_reference() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_checked != nullptr,
                   "session was created without an entry expression");
@@ -73,6 +90,17 @@ Value Session::run_entry_vector() {
   vl::reset_stats();
   exec::VValue result = ex.eval(compiled_.entry_vec);
   cost_.vector_ops = ex.stats();
+  cost_.vector_work = vl::stats();
+  return exec::to_boxed(result, compiled_.entry_checked->type);
+}
+
+Value Session::run_entry_vm() {
+  PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
+                  "session was created without an entry expression");
+  vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
+  vl::reset_stats();
+  exec::VValue result = machine.eval_entry();
+  cost_.vm_ops = machine.stats();
   cost_.vector_work = vl::stats();
   return exec::to_boxed(result, compiled_.entry_checked->type);
 }

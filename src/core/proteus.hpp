@@ -5,12 +5,14 @@
 // its functions (or the optional entry expression) on both engines:
 //
 //   * the reference interpreter (per-element iterator semantics — the
-//     paper's sequential simulation), and
-//   * the vector-model executor (flat representation + depth-1 vector
-//     primitives — the paper's CVL target).
+//     paper's sequential simulation),
+//   * the vector-model tree executor (flat representation + depth-1
+//     vector primitives, walking the V-form AST), and
+//   * the bytecode VM (the same V program assembled into a VCODE-style
+//     linear instruction stream — the paper's actual CVL-level target).
 //
-// Both take and return boxed interp::Values so results are directly
-// comparable; cost counters for each engine are exposed for the
+// All engines take and return boxed interp::Values so results are
+// directly comparable; cost counters for each engine are exposed for the
 // machine-independent measurements the Proteus methodology prescribes.
 //
 // Quickstart:
@@ -28,6 +30,7 @@
 #include "exec/exec.hpp"
 #include "interp/interp.hpp"
 #include "vl/backend.hpp"
+#include "vm/vm.hpp"
 #include "xform/pipeline.hpp"
 
 namespace proteus {
@@ -37,6 +40,7 @@ struct RunCost {
   interp::InterpStats reference;  ///< populated by run_reference
   exec::ExecStats vector_ops;     ///< populated by run_vector
   vl::VectorStats vector_work;    ///< vl primitive calls / element work
+  vm::VMStats vm_ops;             ///< populated by run_vm (per-opcode profile)
 };
 
 class Session {
@@ -56,11 +60,23 @@ class Session {
   [[nodiscard]] interp::Value run_vector(const std::string& name,
                                          const interp::ValueList& args);
 
+  /// Runs function `name` on the bytecode VM (same conversions and
+  /// result as run_vector; per-opcode profile lands in last_cost().vm_ops).
+  [[nodiscard]] interp::Value run_vm(const std::string& name,
+                                     const interp::ValueList& args);
+
   /// Runs the entry expression on the reference interpreter.
   [[nodiscard]] interp::Value run_entry_reference();
 
   /// Runs the transformed entry expression on the vector-model executor.
   [[nodiscard]] interp::Value run_entry_vector();
+
+  /// Runs the compiled entry expression on the bytecode VM.
+  [[nodiscard]] interp::Value run_entry_vm();
+
+  /// Enables per-opcode wall-clock timing on subsequent run_vm calls
+  /// (one clock read per instruction; off by default).
+  void set_vm_profile(bool enabled) { vm_profile_ = enabled; }
 
   /// All intermediate forms (checked / canonical / flat / vector).
   [[nodiscard]] const xform::Compiled& compiled() const { return compiled_; }
@@ -76,6 +92,7 @@ class Session {
 
   xform::Compiled compiled_;
   exec::PrimOptions prim_options_;
+  bool vm_profile_ = false;
   RunCost cost_;
 };
 

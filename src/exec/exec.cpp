@@ -129,42 +129,19 @@ class VEval {
   }
 
   VValue eval_node(const lang::TupleExpr& n, const ExprPtr&, Env& env) {
-    std::vector<VValue> elems = eval_args(n.elems, env);
-    if (n.depth == 0) return VValue::tuple(std::move(elems));
-    std::vector<Array> comps;
-    comps.reserve(elems.size());
-    for (const VValue& v : elems) comps.push_back(v.as_seq());
-    return VValue::seq(Array::tuple(std::move(comps)));
+    return tuple_cons(eval_args(n.elems, env), n.depth);
   }
 
   VValue eval_node(const lang::TupleGet& n, const ExprPtr&, Env& env) {
-    VValue tuple = expr(n.tuple, env);
-    const std::size_t k = static_cast<std::size_t>(n.index - 1);
-    if (n.depth == 0) {
-      const auto& comps = tuple.as_tuple();
-      PROTEUS_REQUIRE(EvalError, k < comps.size(),
-                      "tuple component index out of range");
-      return comps[k];
-    }
-    const auto& comps = tuple.as_seq().components();
-    PROTEUS_REQUIRE(EvalError, k < comps.size(),
-                    "tuple component index out of range");
-    return VValue::seq(comps[k]);
+    return tuple_get(expr(n.tuple, env), n.index, n.depth);
   }
 
   VValue eval_node(const lang::SeqExpr& n, const ExprPtr& e, Env& env) {
     std::vector<VValue> elems = eval_args(n.elems, env);
     if (n.depth > 0) return seq_cons1(elems);
-    if (elems.empty()) {
-      lang::TypePtr elem_type =
-          n.elem_type != nullptr ? n.elem_type : e->type->elem();
-      return VValue::seq(empty_array_of(elem_type));
-    }
-    Array all = materialize(elems[0], 1);
-    for (std::size_t i = 1; i < elems.size(); ++i) {
-      all = seq::concat(all, materialize(elems[i], 1));
-    }
-    return VValue::seq(std::move(all));
+    lang::TypePtr elem_type = n.elem_type;
+    if (elem_type == nullptr && elems.empty()) elem_type = e->type->elem();
+    return seq_cons0(elems, elem_type);
   }
 
   VValue eval_node(const lang::Iterator&, const ExprPtr&, Env&) {

@@ -1,48 +1,22 @@
-// prims.hpp — vector-model implementations of the Table 2 primitives and
-// their depth-1 parallel extensions (Section 4.4).
-//
-// apply_prim0 evaluates a primitive on depth-0 values (scalars and whole
-// sequences); apply_prim1 evaluates the depth-1 extension on frames, where
-// broadcast (depth-0) arguments are either served by a shared-source fast
-// path (seq_index's fixed source, Section 4.5) or replicated across the
-// frame first. Depth >= 2 extensions never reach this layer: the T1
-// translation reduced them to extract / depth-1 / insert.
+// prims.hpp — compatibility shim: the Table 2 primitive kernels now live
+// in the shared kernel table (kernels/prims.hpp) called by both execution
+// engines. Existing exec:: spellings keep working through these aliases.
 #pragma once
 
-#include <vector>
-
 #include "exec/vvalue.hpp"
-#include "lang/ast.hpp"
+#include "kernels/prims.hpp"
 
 namespace proteus::exec {
 
-/// Controls the Section 4.5 shared-source fast paths (the ablation bench
-/// flips this off to measure the replication cost the paper describes).
-struct PrimOptions {
-  bool shared_source_gather = true;
-};
+using kernels::PrimOptions;
 
-/// Depth-0 primitive application (includes extract/insert/any_true).
-[[nodiscard]] VValue apply_prim0(lang::Prim op,
-                                 const std::vector<VValue>& args);
-
-/// Depth-1 parallel extension; lifted[i] == 0 marks a broadcast argument
-/// (empty `lifted` means all arguments are frames).
-[[nodiscard]] VValue apply_prim1(lang::Prim op,
-                                 const std::vector<VValue>& args,
-                                 const std::vector<std::uint8_t>& lifted,
-                                 const PrimOptions& options = {});
-
-/// Rule R2d's empty_frame: same structure as `mask` above the deepest
-/// level, no elements at depth `depth`; `type` is Seq^depth(beta).
-[[nodiscard]] VValue empty_frame_value(const VValue& mask, int depth,
-                                       const lang::TypePtr& type);
-
-/// True when any leaf of the (arbitrary-depth) boolean frame is true.
-[[nodiscard]] bool any_true_frame(const VValue& frame);
-
-/// seq_cons^1: builds one length-k sequence per frame slot from k
-/// conformable element frames.
-[[nodiscard]] VValue seq_cons1(const std::vector<VValue>& elems);
+using kernels::any_true_frame;
+using kernels::apply_prim0;
+using kernels::apply_prim1;
+using kernels::empty_frame_value;
+using kernels::seq_cons0;
+using kernels::seq_cons1;
+using kernels::tuple_cons;
+using kernels::tuple_get;
 
 }  // namespace proteus::exec

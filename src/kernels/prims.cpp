@@ -1,4 +1,4 @@
-#include "exec/prims.hpp"
+#include "kernels/prims.hpp"
 
 #include <cmath>
 #include <functional>
@@ -6,7 +6,7 @@
 
 #include "vl/vl.hpp"
 
-namespace proteus::exec {
+namespace proteus::kernels {
 
 using lang::Prim;
 using vl::Bool;
@@ -690,6 +690,42 @@ VValue empty_frame_value(const VValue& mask, int depth,
   return VValue::seq(build(mask.as_seq(), depth));
 }
 
+VValue seq_cons0(const std::vector<VValue>& elems,
+                 const lang::TypePtr& elem_type) {
+  if (elems.empty()) {
+    PROTEUS_REQUIRE(EvalError, elem_type != nullptr,
+                    "seq_cons: empty literal without an element type");
+    return VValue::seq(empty_array_of(elem_type));
+  }
+  Array all = materialize(elems[0], 1);
+  for (std::size_t i = 1; i < elems.size(); ++i) {
+    all = seq::concat(all, materialize(elems[i], 1));
+  }
+  return VValue::seq(std::move(all));
+}
+
+VValue tuple_cons(std::vector<VValue> elems, int depth) {
+  if (depth == 0) return VValue::tuple(std::move(elems));
+  std::vector<Array> comps;
+  comps.reserve(elems.size());
+  for (const VValue& v : elems) comps.push_back(v.as_seq());
+  return VValue::seq(Array::tuple(std::move(comps)));
+}
+
+VValue tuple_get(const VValue& tuple, int index, int depth) {
+  const std::size_t k = static_cast<std::size_t>(index - 1);
+  if (depth == 0) {
+    const auto& comps = tuple.as_tuple();
+    PROTEUS_REQUIRE(EvalError, k < comps.size(),
+                    "tuple component index out of range");
+    return comps[k];
+  }
+  const auto& comps = tuple.as_seq().components();
+  PROTEUS_REQUIRE(EvalError, k < comps.size(),
+                  "tuple component index out of range");
+  return VValue::seq(comps[k]);
+}
+
 VValue seq_cons1(const std::vector<VValue>& elems) {
   std::vector<Array> frames;
   frames.reserve(elems.size());
@@ -703,4 +739,4 @@ bool any_true_frame(const VValue& frame) {
   return vl::any(cur->bool_values());
 }
 
-}  // namespace proteus::exec
+}  // namespace proteus::kernels

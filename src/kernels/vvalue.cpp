@@ -1,9 +1,9 @@
-#include "exec/vvalue.hpp"
+#include "kernels/vvalue.hpp"
 
 #include "vl/check.hpp"
 #include "vl/vl.hpp"
 
-namespace proteus::exec {
+namespace proteus::kernels {
 
 using lang::TypeKind;
 using lang::TypePtr;
@@ -164,4 +164,4 @@ interp::Value to_boxed(const VValue& v, const TypePtr& type) {
   throw EvalError("corrupt type in conversion");
 }
 
-}  // namespace proteus::exec
+}  // namespace proteus::kernels

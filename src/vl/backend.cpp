@@ -1,5 +1,8 @@
 #include "vl/backend.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -7,8 +10,19 @@
 namespace proteus::vl {
 
 namespace {
-Backend g_backend = Backend::kSerial;
+
+Backend initial_backend() noexcept {
+  const char* env = std::getenv("PROTEUS_BACKEND");
+  if (env != nullptr && std::string_view(env) == "openmp" &&
+      openmp_available()) {
+    return Backend::kOpenMP;
+  }
+  return Backend::kSerial;
+}
+
+Backend g_backend = initial_backend();
 VectorStats g_stats;
+
 }  // namespace
 
 Backend backend() noexcept { return g_backend; }

@@ -26,7 +26,10 @@ enum class Backend : std::uint8_t {
   kOpenMP,
 };
 
-/// Returns the process-global backend (defaults to Serial).
+/// Returns the process-global backend. Defaults to Serial; a process
+/// started with PROTEUS_BACKEND=openmp in the environment begins on the
+/// OpenMP backend instead (when the build has it), which lets a whole
+/// test run exercise the parallel kernels without code changes.
 [[nodiscard]] Backend backend() noexcept;
 
 /// Sets the process-global backend. Returns the previous value.

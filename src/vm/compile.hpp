@@ -1,0 +1,31 @@
+// compile.hpp — the bytecode compiler: lowers a post-T1 V program (every
+// call depth <= 1, no iterators) into a linked vm::Module.
+//
+// Lowering is a single syntax-directed pass per function:
+//
+//   * let-bound variables and parameters become slot-addressed virtual
+//     registers (a scoped free-list keeps frames small),
+//   * literals intern into the module constant pool,
+//   * direct calls resolve to function indices at compile time,
+//   * `if any_true(M)` — rule R2d's guard on flattened recursion —
+//     fuses into the single kBranchEmpty opcode,
+//   * extract/insert fold their static depth literal into the instruction.
+//
+// The input must satisfy xform::verify_vector_program; feeding untransformed
+// P constructs (iterators, unresolved calls, lambdas) throws TransformError.
+#pragma once
+
+#include <memory>
+
+#include "lang/ast.hpp"
+#include "vm/bytecode.hpp"
+
+namespace proteus::vm {
+
+/// Compiles a V program (e.g. xform::Compiled::vec) and an optional closed
+/// V entry expression (compiled as the parameterless `Module::entry`
+/// function). Throws TransformError on non-V input.
+[[nodiscard]] std::shared_ptr<const Module> compile_module(
+    const lang::Program& program, const lang::ExprPtr& entry = nullptr);
+
+}  // namespace proteus::vm

@@ -1,0 +1,173 @@
+#include "vm/disasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace proteus::vm {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst:        return "const";
+    case Op::kLoadFun:      return "loadfun";
+    case Op::kMove:         return "move";
+    case Op::kScalar:       return "scalar";
+    case Op::kElementwise:  return "elementwise";
+    case Op::kBuild:        return "build";
+    case Op::kGather:       return "gather";
+    case Op::kPack:         return "pack";
+    case Op::kReduce:       return "reduce";
+    case Op::kSegment:      return "segment";
+    case Op::kExtract:      return "extract";
+    case Op::kInsert:       return "insert";
+    case Op::kEmptyFrame:   return "empty_frame";
+    case Op::kSeqCons:      return "seq_cons";
+    case Op::kTuple:        return "tuple";
+    case Op::kTupleGet:     return "tuple_get";
+    case Op::kCall:         return "call";
+    case Op::kCallIndirect: return "call_ind";
+    case Op::kBranchEmpty:  return "brempty";
+    case Op::kJump:         return "jump";
+    case Op::kJumpIfFalse:  return "jfalse";
+    case Op::kRet:          return "ret";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string constant_text(const kernels::VValue& v) {
+  if (v.is_int()) return std::to_string(v.as_int());
+  if (v.is_real()) {
+    std::ostringstream os;
+    os << v.as_real();
+    return os.str();
+  }
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  if (v.is_fun()) return "&" + v.fun_name();
+  return "<aggregate>";
+}
+
+std::string reg_list(const Module&, const Function& fn, const Instr& in,
+                     std::size_t from = 0) {
+  std::string out = "(";
+  for (std::size_t i = from; i < in.args_count; ++i) {
+    if (i != from) out += ", ";
+    out += "r" + std::to_string(fn.arg_pool[in.args_off + i]);
+  }
+  return out + ")";
+}
+
+std::string lifted_text(const Function& fn, const Instr& in) {
+  if (in.lifted < 0) return "";
+  std::string out = " lifted=";
+  for (std::uint8_t b :
+       fn.lifted_sets[static_cast<std::size_t>(in.lifted)]) {
+    out += b != 0 ? '1' : '0';
+  }
+  return out;
+}
+
+void instr_text(std::ostream& os, const Module& m, const Function& fn,
+                std::size_t at) {
+  const Instr& in = fn.code[at];
+  os << std::setw(4) << at << "  " << std::left << std::setw(12)
+     << op_name(in.op) << std::right << " ";
+  const auto arg0 = [&] { return fn.arg_pool[in.args_off]; };
+  const auto aux = [&] { return static_cast<std::size_t>(in.aux); };
+  switch (in.op) {
+    case Op::kConst:
+    case Op::kLoadFun:
+      os << "r" << in.dst << " <- " << constant_text(m.constants[aux()]);
+      break;
+    case Op::kMove:
+      os << "r" << in.dst << " <- r" << arg0();
+      break;
+    case Op::kScalar:
+    case Op::kElementwise:
+    case Op::kBuild:
+    case Op::kGather:
+    case Op::kPack:
+    case Op::kReduce:
+    case Op::kSegment:
+      os << "r" << in.dst << " <- " << lang::prim_name(in.prim)
+         << (in.depth == 1 ? "^1" : "") << reg_list(m, fn, in)
+         << lifted_text(fn, in);
+      break;
+    case Op::kExtract:
+    case Op::kInsert:
+      os << "r" << in.dst << " <- " << lang::prim_name(in.prim)
+         << reg_list(m, fn, in) << " depth=" << int{in.depth};
+      break;
+    case Op::kEmptyFrame:
+      os << "r" << in.dst << " <- empty_frame(r" << arg0()
+         << ") depth=" << int{in.depth};
+      break;
+    case Op::kSeqCons:
+      os << "r" << in.dst << " <- seq" << (in.depth == 1 ? "^1" : "")
+         << reg_list(m, fn, in);
+      break;
+    case Op::kTuple:
+      os << "r" << in.dst << " <- tuple" << (in.depth == 1 ? "^1" : "")
+         << reg_list(m, fn, in);
+      break;
+    case Op::kTupleGet:
+      os << "r" << in.dst << " <- r" << arg0() << "."
+         << in.aux << (in.depth == 1 ? " ^1" : "");
+      break;
+    case Op::kCall:
+      os << "r" << in.dst << " <- ";
+      if (in.aux >= 0) {
+        os << m.functions[aux()].name;
+      } else {
+        os << "<unresolved " << m.names[static_cast<std::size_t>(in.aux2)]
+           << ">";
+      }
+      os << reg_list(m, fn, in);
+      break;
+    case Op::kCallIndirect:
+      os << "r" << in.dst << " <- *r" << arg0()
+         << (in.depth == 1 ? "^1" : "") << reg_list(m, fn, in, 1);
+      break;
+    case Op::kBranchEmpty:
+      os << "r" << arg0() << " -> @" << in.aux;
+      break;
+    case Op::kJump:
+      os << "-> @" << in.aux;
+      break;
+    case Op::kJumpIfFalse:
+      os << "r" << arg0() << " -> @" << in.aux;
+      break;
+    case Op::kRet:
+      os << "r" << arg0();
+      break;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string to_text(const Module& module, const Function& fn) {
+  std::ostringstream os;
+  os << "fun " << fn.name << " (params " << fn.n_params << ", regs "
+     << fn.n_regs << ", code " << fn.code.size() << "):\n";
+  for (std::size_t i = 0; i < fn.code.size(); ++i) {
+    instr_text(os, module, fn, i);
+  }
+  return os.str();
+}
+
+std::string to_text(const Module& module) {
+  std::ostringstream os;
+  os << "module: " << module.functions.size() << " function"
+     << (module.functions.size() == 1 ? "" : "s") << ", "
+     << module.constants.size() << " constant"
+     << (module.constants.size() == 1 ? "" : "s") << "\n";
+  for (std::size_t i = 0; i < module.functions.size(); ++i) {
+    os << "\n";
+    if (static_cast<std::int32_t>(i) == module.entry) os << "; entry\n";
+    os << to_text(module, module.functions[i]);
+  }
+  return os.str();
+}
+
+}  // namespace proteus::vm

@@ -1,0 +1,25 @@
+// disasm.hpp — human-readable listing of a vm::Module, the `--dump vcode`
+// stage of proteusc and the format used by docs/VM.md.
+//
+// The listing is one line per instruction:
+//
+//     3  elementwise  r5 <- add^1(r2, r3) lifted=01
+//     7  brempty      r1 -> @12
+//
+// with registers `rN`, constant-pool references resolved inline, and
+// branch targets as absolute instruction indices `@N`.
+#pragma once
+
+#include <string>
+
+#include "vm/bytecode.hpp"
+
+namespace proteus::vm {
+
+/// Listing of every function in the module (entry last, marked).
+[[nodiscard]] std::string to_text(const Module& module);
+
+/// Listing of a single function.
+[[nodiscard]] std::string to_text(const Module& module, const Function& fn);
+
+}  // namespace proteus::vm

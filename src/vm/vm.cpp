@@ -1,0 +1,213 @@
+#include "vm/vm.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "vl/backend.hpp"
+#include "vl/check.hpp"
+
+namespace proteus::vm {
+
+using kernels::VValue;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const std::vector<std::uint8_t> kAllFrames;  // empty lifted set
+
+[[noreturn]] void unknown_function(const std::string& name) {
+  // Same diagnostic as the tree executor so the engines stay
+  // indistinguishable to the differential harness.
+  throw EvalError("vector executor: unknown function '" + name +
+                  "' (was its parallel extension generated?)");
+}
+
+}  // namespace
+
+VM::VM(std::shared_ptr<const Module> module, VMOptions options)
+    : module_(std::move(module)), options_(options) {
+  PROTEUS_REQUIRE(EvalError, module_ != nullptr, "vm: null module");
+}
+
+VValue VM::call_function(const std::string& name,
+                         const std::vector<VValue>& args) {
+  auto it = module_->fn_index.find(name);
+  if (it == module_->fn_index.end()) unknown_function(name);
+  return invoke(it->second, args, name);
+}
+
+VValue VM::eval_entry() {
+  PROTEUS_REQUIRE(EvalError, module_->entry >= 0,
+                  "vm: module has no compiled entry expression");
+  const Function& fn =
+      module_->functions[static_cast<std::size_t>(module_->entry)];
+  return run(fn, std::vector<VValue>(fn.n_regs));
+}
+
+VValue VM::invoke(std::uint32_t index, std::vector<VValue> args,
+                  const std::string& name) {
+  const Function& fn = module_->functions[index];
+  PROTEUS_REQUIRE(EvalError, args.size() == fn.n_params,
+                  "'" + name + "' called with wrong argument count");
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    throw EvalError("call depth limit exceeded in '" + name + "'");
+  }
+  stats_.calls += 1;
+  args.resize(fn.n_regs);
+  VValue result = run(fn, std::move(args));
+  --call_depth_;
+  return result;
+}
+
+VValue VM::run(const Function& fn, std::vector<VValue> regs) {
+  const Instr* code = fn.code.data();
+  const bool profile = options_.profile;
+  std::size_t pc = 0;
+  for (;;) {
+    const Instr& in = code[pc];
+    ++pc;
+    stats_.instructions += 1;
+    OpProfile& prof = stats_.per_op[static_cast<std::size_t>(in.op)];
+    prof.count += 1;
+    const std::uint16_t* a = fn.arg_pool.data() + in.args_off;
+    const auto gather = [&](std::size_t from) {
+      std::vector<VValue> vals;
+      vals.reserve(in.args_count - from);
+      for (std::size_t i = from; i < in.args_count; ++i) {
+        vals.push_back(regs[a[i]]);
+      }
+      return vals;
+    };
+
+    // Movement and control: no vl work to attribute.
+    switch (in.op) {
+      case Op::kConst:
+      case Op::kLoadFun:
+        regs[in.dst] = module_->constants[static_cast<std::size_t>(in.aux)];
+        continue;
+      case Op::kMove:
+        regs[in.dst] = regs[a[0]];
+        continue;
+      case Op::kJump:
+        pc = static_cast<std::size_t>(in.aux);
+        continue;
+      case Op::kJumpIfFalse:
+        if (!regs[a[0]].as_bool()) pc = static_cast<std::size_t>(in.aux);
+        continue;
+      case Op::kRet:
+        return std::move(regs[a[0]]);
+      case Op::kCall: {
+        if (in.aux < 0) {
+          unknown_function(module_->names[static_cast<std::size_t>(in.aux2)]);
+        }
+        const auto callee = static_cast<std::uint32_t>(in.aux);
+        regs[in.dst] =
+            invoke(callee, gather(0), module_->functions[callee].name);
+        continue;
+      }
+      case Op::kCallIndirect: {
+        const VValue& f = regs[a[0]];
+        const std::string target =
+            in.depth == 0 ? f.fun_name()
+                          : lang::extension_name(f.fun_name(), 1);
+        auto it = module_->fn_index.find(target);
+        if (it == module_->fn_index.end()) unknown_function(target);
+        regs[in.dst] = invoke(it->second, gather(1), target);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    // Kernel opcodes: attribute vl element work (and, when profiling,
+    // wall time) to this opcode family.
+    const std::uint64_t work0 = vl::stats().element_work;
+    const Clock::time_point t0 = profile ? Clock::now() : Clock::time_point{};
+    VValue out;
+    switch (in.op) {
+      case Op::kScalar:
+      case Op::kElementwise:
+      case Op::kBuild:
+      case Op::kGather:
+      case Op::kPack:
+      case Op::kReduce:
+      case Op::kSegment: {
+        stats_.prim_applications += 1;
+        stats_.per_prim[in.prim] += 1;
+        std::vector<VValue> vals = gather(0);
+        out = in.depth == 0
+                  ? kernels::apply_prim0(in.prim, vals)
+                  : kernels::apply_prim1(
+                        in.prim, vals,
+                        in.lifted >= 0
+                            ? fn.lifted_sets[static_cast<std::size_t>(
+                                  in.lifted)]
+                            : kAllFrames,
+                        options_.prims);
+        break;
+      }
+      case Op::kExtract:
+        stats_.prim_applications += 1;
+        stats_.per_prim[in.prim] += 1;
+        out = VValue::seq(seq::extract(regs[a[0]].as_seq(), in.depth));
+        break;
+      case Op::kInsert:
+        stats_.prim_applications += 1;
+        stats_.per_prim[in.prim] += 1;
+        out = VValue::seq(seq::insert(regs[a[0]].as_seq(),
+                                      regs[a[1]].as_seq(), in.depth));
+        break;
+      case Op::kEmptyFrame:
+        stats_.prim_applications += 1;
+        stats_.per_prim[in.prim] += 1;
+        out = kernels::empty_frame_value(
+            regs[a[0]], in.depth,
+            module_->types[static_cast<std::size_t>(in.aux)]);
+        break;
+      case Op::kBranchEmpty: {
+        // The fused R2d guard still counts as an any_true application so
+        // engine stats stay comparable.
+        stats_.prim_applications += 1;
+        stats_.per_prim[lang::Prim::kAnyTrue] += 1;
+        const bool any = kernels::any_true_frame(regs[a[0]]);
+        prof.element_work += vl::stats().element_work - work0;
+        if (profile) {
+          prof.nanos += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count());
+        }
+        if (!any) pc = static_cast<std::size_t>(in.aux);
+        continue;
+      }
+      case Op::kSeqCons:
+        out = in.depth == 1
+                  ? kernels::seq_cons1(gather(0))
+                  : kernels::seq_cons0(
+                        gather(0),
+                        in.aux >= 0
+                            ? module_->types[static_cast<std::size_t>(in.aux)]
+                            : nullptr);
+        break;
+      case Op::kTuple:
+        out = kernels::tuple_cons(gather(0), in.depth);
+        break;
+      case Op::kTupleGet:
+        out = kernels::tuple_get(regs[a[0]], in.aux, in.depth);
+        break;
+      default:
+        throw EvalError("vm: corrupt instruction stream");
+    }
+    prof.element_work += vl::stats().element_work - work0;
+    if (profile) {
+      prof.nanos += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+    }
+    regs[in.dst] = std::move(out);
+  }
+}
+
+}  // namespace proteus::vm

@@ -1,0 +1,85 @@
+// vm.hpp — the dispatch-loop interpreter over vm::Module bytecode.
+//
+// Where the tree executor re-walks the AST (variant dispatch per node,
+// string environment lookups, function re-resolution per call), the VM
+// replays pre-linked flat code: registers index a frame vector, constants
+// and call targets were resolved at compile time, and each instruction
+// funnels into the shared kernel table of kernels/prims.hpp — so results
+// are bit-identical to the tree executor by construction.
+//
+// Profiling: the VM always counts instructions, primitive applications,
+// and calls, and attributes vl element work (vl::stats() deltas) to the
+// executing opcode. Per-opcode wall time costs a clock read per
+// instruction and is gated behind VMOptions::profile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/prims.hpp"
+#include "vm/bytecode.hpp"
+
+namespace proteus::vm {
+
+/// Knobs of a VM run.
+struct VMOptions {
+  kernels::PrimOptions prims;  ///< shared-source gather etc. (as in exec)
+  bool profile = false;        ///< per-opcode wall-clock timing
+};
+
+/// Accumulated cost of one opcode across a run.
+struct OpProfile {
+  std::uint64_t count = 0;         ///< instructions dispatched
+  std::uint64_t element_work = 0;  ///< vl element work attributed
+  std::uint64_t nanos = 0;         ///< wall time (VMOptions::profile only)
+};
+
+/// Execution counters of a VM (vl::stats()-compatible element-work
+/// accounting, plus the exec::ExecStats-style prim/call tallies).
+struct VMStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t prim_applications = 0;
+  std::uint64_t calls = 0;
+  std::array<OpProfile, kNumOps> per_op{};
+  std::map<lang::Prim, std::uint64_t> per_prim;
+};
+
+/// Flattened recursion descends O(log data) levels, but a buggy or
+/// adversarial program may not; same guard as the tree executor.
+inline constexpr int kMaxCallDepth = 8000;
+
+/// The bytecode interpreter. Holds the module and per-run statistics.
+class VM {
+ public:
+  explicit VM(std::shared_ptr<const Module> module, VMOptions options = {});
+
+  /// Calls a compiled function by name (the tree executor's
+  /// call_function contract, including its error messages).
+  [[nodiscard]] kernels::VValue call_function(
+      const std::string& name, const std::vector<kernels::VValue>& args);
+
+  /// Runs the module's compiled entry expression.
+  [[nodiscard]] kernels::VValue eval_entry();
+
+  [[nodiscard]] const VMStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = VMStats{}; }
+
+  [[nodiscard]] const Module& module() const { return *module_; }
+
+ private:
+  kernels::VValue run(const Function& fn, std::vector<kernels::VValue> regs);
+  kernels::VValue invoke(std::uint32_t index,
+                         std::vector<kernels::VValue> args,
+                         const std::string& name);
+
+  std::shared_ptr<const Module> module_;
+  VMOptions options_;
+  VMStats stats_;
+  int call_depth_ = 0;
+};
+
+}  // namespace proteus::vm

@@ -7,6 +7,7 @@
 #include "xform/canon.hpp"
 #include "xform/optimize.hpp"
 #include "xform/translate.hpp"
+#include "vm/compile.hpp"
 #include "xform/verify.hpp"
 
 namespace proteus::xform {
@@ -65,6 +66,7 @@ Compiled compile(std::string_view program_source,
       verify_vector_expression(out.vec, out.entry_vec);
     }
   }
+  out.module = vm::compile_module(out.vec, out.entry_vec);
   return out;
 }
 

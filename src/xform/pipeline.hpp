@@ -1,18 +1,24 @@
 // pipeline.hpp — the end-to-end directed-transformation pipeline:
 //
 //   parse -> typecheck -> canonicalize (R1) -> flatten (R2) -> translate (T1)
+//     -> assemble (V program -> vm bytecode module)
 //
 // mirroring the KIDS-driven process of the paper. Every intermediate stage
 // is retained so tests and benches can compare engines and inspect the
 // transformed forms (e.g. the Section 5 worked example).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "lang/ast.hpp"
 #include "xform/flatten.hpp"
+
+namespace proteus::vm {
+struct Module;
+}
 
 namespace proteus::xform {
 
@@ -40,6 +46,10 @@ struct Compiled {
   lang::ExprPtr entry_checked;  ///< null when no entry expression given
   lang::ExprPtr entry_flat;
   lang::ExprPtr entry_vec;
+
+  /// The V program (and entry) assembled into linear bytecode — the
+  /// module the vm engine executes (see src/vm/bytecode.hpp).
+  std::shared_ptr<const vm::Module> module;
 
   /// Rule-by-rule derivation log (only when options.collect_trace).
   std::vector<std::string> derivation;

@@ -1,7 +1,8 @@
 // Randomized differential testing: generate well-typed P programs from a
-// seeded grammar, compile them through the full pipeline, and require the
-// reference interpreter and the vector-model executor to agree on random
-// inputs (a thrown EvalError from both engines also counts as agreement).
+// seeded grammar, compile them through the full pipeline, and require all
+// three engines — the reference interpreter, the vector-model tree
+// executor, and the bytecode VM — to agree on random inputs (a thrown
+// EvalError from every engine also counts as agreement).
 //
 // The generator sticks to total operations plus guarded conditionals, so
 // almost every program runs to completion; sizes are kept small enough
@@ -177,16 +178,48 @@ struct Outcome {
   interp::Value value;
 };
 
+enum class Engine { kRef, kVec, kVm };
+
 Outcome run(Session& s, const std::string& fn, const interp::ValueList& args,
-            bool vector_engine) {
+            Engine engine) {
   Outcome o;
   try {
-    o.value = vector_engine ? s.run_vector(fn, args)
-                            : s.run_reference(fn, args);
+    switch (engine) {
+      case Engine::kRef:
+        o.value = s.run_reference(fn, args);
+        break;
+      case Engine::kVec:
+        o.value = s.run_vector(fn, args);
+        break;
+      case Engine::kVm:
+        o.value = s.run_vm(fn, args);
+        break;
+    }
   } catch (const EvalError&) {
     o.threw = true;
   }
   return o;
+}
+
+/// Runs `fn` on all three engines and asserts pairwise agreement.
+void expect_engines_agree(Session& s, const std::string& fn,
+                          const interp::ValueList& args,
+                          std::uint64_t input) {
+  Outcome ref = run(s, fn, args, Engine::kRef);
+  Outcome vec = run(s, fn, args, Engine::kVec);
+  Outcome bc = run(s, fn, args, Engine::kVm);
+  EXPECT_EQ(ref.threw, vec.threw) << "input " << input;
+  EXPECT_EQ(ref.threw, bc.threw) << "input " << input << " (vm)";
+  if (!ref.threw && !vec.threw) {
+    EXPECT_EQ(ref.value, vec.value)
+        << "input " << input << ": ref " << interp::to_text(ref.value)
+        << " vs vec " << interp::to_text(vec.value);
+  }
+  if (!ref.threw && !bc.threw) {
+    EXPECT_EQ(ref.value, bc.value)
+        << "input " << input << ": ref " << interp::to_text(ref.value)
+        << " vs vm " << interp::to_text(bc.value);
+  }
 }
 
 class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -223,14 +256,7 @@ TEST_P(Fuzz, EnginesAgreeOnRandomPrograms) {
           lang::Type::seq(lang::Type::seq(lang::Type::int_()))));
       args.push_back(interp::Value::ints(static_cast<vl::Int>(input) + 1));
 
-      Outcome ref = run(session, "fz", args, false);
-      Outcome vec = run(session, "fz", args, true);
-      EXPECT_EQ(ref.threw, vec.threw) << "input " << input;
-      if (!ref.threw && !vec.threw) {
-        EXPECT_EQ(ref.value, vec.value)
-            << "input " << input << ": ref " << interp::to_text(ref.value)
-            << " vs vec " << interp::to_text(vec.value);
-      }
+      expect_engines_agree(session, "fz", args, input);
     }
   }
 }
@@ -276,14 +302,7 @@ TEST_P(FuzzHelpers, EnginesAgreeWithUserFunctionCalls) {
         lang::Type::seq(lang::Type::seq(lang::Type::int_()))));
     args.push_back(interp::Value::ints(static_cast<vl::Int>(input) + 2));
 
-    Outcome ref = run(session, "fz", args, false);
-    Outcome vec = run(session, "fz", args, true);
-    EXPECT_EQ(ref.threw, vec.threw) << "input " << input;
-    if (!ref.threw && !vec.threw) {
-      EXPECT_EQ(ref.value, vec.value)
-          << "input " << input << ": ref " << interp::to_text(ref.value)
-          << " vs vec " << interp::to_text(vec.value);
-    }
+    expect_engines_agree(session, "fz", args, input);
   }
 }
 

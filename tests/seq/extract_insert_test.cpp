@@ -79,6 +79,76 @@ INSTANTIATE_TEST_SUITE_P(DepthPairs, ExtractInsertIdentity,
                                             ::testing::Values(0, 1, 2, 3, 4,
                                                               6)));
 
+/// Checks Figure 1's well-formedness invariant of the descriptor stack:
+/// each level's lengths must sum to the number of segments one level
+/// down, i.e. #V_{i+1} == sum(V_i), with the leaf vector closing the
+/// chain.
+void expect_descriptors_wellformed(const Array& a) {
+  std::vector<IntVec> stack = descriptor_stack(a);
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+    vl::Int total = 0;
+    for (vl::Size j = 0; j < stack[i].size(); ++j) total += stack[i][j];
+    EXPECT_EQ(stack[i + 1].size(), total)
+        << "descriptor level " << i + 1 << " of " << to_text(a);
+  }
+  vl::Int total = 0;
+  const IntVec& deepest = stack.back();
+  for (vl::Size j = 0; j < deepest.size(); ++j) total += deepest[j];
+  EXPECT_EQ(leaf_int_values(a).size(), total) << "leaves of " << to_text(a);
+}
+
+/// Round-trip property at randomized depths 1..4: insert(extract(V,d),V,d)
+/// reproduces V with a well-formed descriptor stack for every legal d.
+class DescriptorInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DescriptorInvariant, RoundTripAtRandomizedDepths) {
+  const std::uint64_t seed = GetParam();
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::uint64_t mix =
+        seed * std::uint64_t{6364136223846793005} +
+        static_cast<std::uint64_t>(trial);
+    const int depth = 1 + static_cast<int>(mix % 4);
+    Array v = random_nested_ints(mix, depth, 12, 3);
+    for (int d = 0; d <= depth; ++d) {
+      SCOPED_TRACE("depth=" + std::to_string(depth) +
+                   " d=" + std::to_string(d));
+      Array round = insert(extract(v, d), v, d);
+      EXPECT_EQ(round, v);
+      expect_descriptors_wellformed(round);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorInvariant,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DescriptorInvariantEdge, AllEmptySegments) {
+  // Every frame slot empty: extract reaches an empty value vector and
+  // insert must rebuild the all-zero descriptors verbatim.
+  Array inner = Array::nested(IntVec{0, 0, 0}, Array::ints(IntVec{}));
+  Array outer = Array::nested(IntVec{2, 0, 1}, inner);
+  for (const Array& v : {inner, outer}) {
+    for (int d = 0; d <= v.element_depth(); ++d) {
+      Array round = insert(extract(v, d), v, d);
+      EXPECT_EQ(round, v) << "d=" << d;
+      expect_descriptors_wellformed(round);
+    }
+  }
+}
+
+TEST(DescriptorInvariantEdge, ZeroLengthTopFrame) {
+  // The R2d empty frame: no slots at all, at several nesting depths.
+  Array v = Array::nested(IntVec{}, Array::ints(IntVec{}));
+  for (int extra = 0; extra < 3; ++extra) {
+    for (int d = 0; d <= extra + 1; ++d) {
+      Array round = insert(extract(v, d), v, d);
+      EXPECT_EQ(round, v) << "d=" << d;
+      expect_descriptors_wellformed(round);
+    }
+    v = Array::nested(IntVec{}, v);
+  }
+}
+
 /// extract/insert commute with elementwise work on the flat values — the
 /// essence of the T1 translation (Figure 3).
 TEST(Translation, FdViaExtractInsert) {

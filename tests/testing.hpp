@@ -16,8 +16,10 @@ inline interp::Value val(std::string_view literal) {
   return parse_value(literal);
 }
 
-/// Runs `fn(args...)` on both engines of `session` and asserts equality;
-/// returns the (reference) result for further checks.
+/// Runs `fn(args...)` on every engine of `session` — the reference
+/// interpreter, the vector-model tree executor, and the bytecode VM —
+/// asserts the three agree, and returns the (reference) result for
+/// further checks.
 inline interp::Value both(Session& session, const std::string& fn,
                           const interp::ValueList& args) {
   interp::Value reference = session.run_reference(fn, args);
@@ -25,6 +27,10 @@ inline interp::Value both(Session& session, const std::string& fn,
   EXPECT_EQ(reference, vectorised)
       << fn << ": reference " << interp::to_text(reference) << " vs vector "
       << interp::to_text(vectorised);
+  interp::Value bytecode = session.run_vm(fn, args);
+  EXPECT_EQ(reference, bytecode)
+      << fn << ": reference " << interp::to_text(reference) << " vs vm "
+      << interp::to_text(bytecode);
   return reference;
 }
 

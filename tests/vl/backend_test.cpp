@@ -1,15 +1,24 @@
 // Tests for the execution-policy plumbing and work counters.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "vl/vl.hpp"
 
 namespace proteus::vl {
 namespace {
 
-TEST(Backend, DefaultIsSerial) {
-  EXPECT_EQ(backend(), Backend::kSerial);
+TEST(Backend, DefaultFollowsEnvironment) {
+  // Serial unless the process was launched with PROTEUS_BACKEND=openmp
+  // (how the CI matrix runs the whole suite on the parallel kernels).
+  const char* env = std::getenv("PROTEUS_BACKEND");
+  const bool want_openmp = env != nullptr &&
+                           std::string_view(env) == "openmp" &&
+                           openmp_available();
+  EXPECT_EQ(backend(),
+            want_openmp ? Backend::kOpenMP : Backend::kSerial);
 }
 
 TEST(Backend, GuardRestores) {

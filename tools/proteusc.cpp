@@ -4,9 +4,10 @@
 //
 //   --entry EXPR       expression to evaluate in the program's scope
 //   --call F A1 A2 ..  call function F with P literals as arguments
-//   --engine E         vec (default) | ref | both (compare)
+//   --engine E         vec (default) | ref | vm | both (ref vs vec) |
+//                      all (ref vs vec vs vm)
 //   --dump STAGE       print a stage instead of running:
-//                      checked | canon | flat | vec | trace
+//                      checked | canon | flat | vec | vcode | trace
 //   --stats            print cost counters after the run
 //   --naive            disable the Section 4.5 optimizations (ablation)
 //   --backend B        serial (default) | openmp — vl execution policy
@@ -14,6 +15,7 @@
 // Examples:
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]'
 //   proteusc examples/programs/sort.p --entry '[k <- [1..5] : sqs(k)]' --dump vec
+//   proteusc examples/programs/sort.p --call quicksort '[3,1,2]' --engine vm --stats
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,6 +24,7 @@
 
 #include "core/proteus.hpp"
 #include "lang/printer.hpp"
+#include "vm/disasm.hpp"
 
 namespace {
 
@@ -29,8 +32,9 @@ namespace {
   if (!err.empty()) std::cerr << "proteusc: " << err << "\n\n";
   std::cerr <<
       "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
-      "                [--engine vec|ref|both] [--dump checked|canon|flat|vec]\n"
-      "                [--stats] [--naive]\n";
+      "                [--engine vec|ref|vm|both|all]\n"
+      "                [--dump checked|canon|flat|vec|vcode|trace]\n"
+      "                [--backend serial|openmp] [--stats] [--naive]\n";
   std::exit(err.empty() ? 0 : 2);
 }
 
@@ -42,22 +46,39 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-void print_stats(const proteus::RunCost& cost, bool vector_engine) {
-  if (vector_engine) {
-    std::cerr << "[stats] vector primitives: "
-              << cost.vector_work.primitive_calls
-              << ", element work: " << cost.vector_work.element_work
-              << ", user calls: " << cost.vector_ops.calls << '\n';
-    std::cerr << "[stats] instruction mix:";
-    for (const auto& [op, count] : cost.vector_ops.per_prim) {
-      std::cerr << ' ' << proteus::lang::prim_name(op) << '=' << count;
-    }
-    std::cerr << '\n';
-  } else {
+void print_stats(const proteus::RunCost& cost, const std::string& engine) {
+  if (engine == "ref") {
     std::cerr << "[stats] iterator iterations: " << cost.reference.iterations
               << ", scalar ops (work): " << cost.reference.scalar_ops
               << ", steps (critical path): " << cost.reference.steps
               << ", user calls: " << cost.reference.calls << '\n';
+    return;
+  }
+  std::cerr << "[stats] vector primitives: "
+            << cost.vector_work.primitive_calls
+            << ", element work: " << cost.vector_work.element_work
+            << ", user calls: "
+            << (engine == "vm" ? cost.vm_ops.calls : cost.vector_ops.calls)
+            << '\n';
+  std::cerr << "[stats] instruction mix:";
+  const auto& per_prim =
+      engine == "vm" ? cost.vm_ops.per_prim : cost.vector_ops.per_prim;
+  for (const auto& [op, count] : per_prim) {
+    std::cerr << ' ' << proteus::lang::prim_name(op) << '=' << count;
+  }
+  std::cerr << '\n';
+  if (engine == "vm") {
+    std::cerr << "[stats] vm instructions: " << cost.vm_ops.instructions
+              << "; per-opcode count/work/us:";
+    for (int i = 0; i < proteus::vm::kNumOps; ++i) {
+      const proteus::vm::OpProfile& p =
+          cost.vm_ops.per_op[static_cast<std::size_t>(i)];
+      if (p.count == 0) continue;
+      std::cerr << ' ' << proteus::vm::op_name(static_cast<proteus::vm::Op>(i))
+                << '=' << p.count << '/' << p.element_work << '/'
+                << p.nanos / 1000;
+    }
+    std::cerr << '\n';
   }
 }
 
@@ -111,8 +132,9 @@ int main(int argc, char** argv) {
     }
   }
   if (file.empty()) usage("no input file");
-  if (engine != "vec" && engine != "ref" && engine != "both") {
-    usage("--engine must be vec, ref, or both");
+  if (engine != "vec" && engine != "ref" && engine != "vm" &&
+      engine != "both" && engine != "all") {
+    usage("--engine must be vec, ref, vm, both, or all");
   }
   if (backend == "openmp") {
     proteus::vl::set_backend(proteus::vl::Backend::kOpenMP);
@@ -138,6 +160,10 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (dump == "vcode") {
+      std::cout << proteus::vm::to_text(*session.compiled().module);
+      return 0;
+    }
     if (!dump.empty()) {
       const auto& c = session.compiled();
       const proteus::lang::Program* stage = nullptr;
@@ -154,7 +180,7 @@ int main(int argc, char** argv) {
         stage = &c.vec;
         entry_stage = &c.entry_vec;
       } else {
-        usage("--dump must be checked, canon, flat, or vec");
+        usage("--dump must be checked, canon, flat, vec, vcode, or trace");
       }
       std::cout << proteus::lang::to_text(*stage);
       if (entry_stage != nullptr && *entry_stage != nullptr) {
@@ -164,37 +190,53 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto run = [&](bool vector_engine) -> proteus::interp::Value {
+    if (stats && (engine == "vm" || engine == "all")) {
+      session.set_vm_profile(true);
+    }
+
+    auto run = [&](const std::string& eng) -> proteus::interp::Value {
       proteus::interp::Value result;
       if (!call.empty()) {
         proteus::interp::ValueList values;
         for (const std::string& lit : call_args) {
           values.push_back(proteus::parse_value(lit));
         }
-        result = vector_engine ? session.run_vector(call, values)
-                               : session.run_reference(call, values);
+        result = eng == "ref"  ? session.run_reference(call, values)
+                 : eng == "vm" ? session.run_vm(call, values)
+                               : session.run_vector(call, values);
       } else if (!entry.empty()) {
-        result = vector_engine ? session.run_entry_vector()
-                               : session.run_entry_reference();
+        result = eng == "ref"  ? session.run_entry_reference()
+                 : eng == "vm" ? session.run_entry_vm()
+                               : session.run_entry_vector();
       } else {
         usage("nothing to run: give --entry or --call (or --dump)");
       }
-      if (stats) print_stats(session.last_cost(), vector_engine);
+      if (stats) print_stats(session.last_cost(), eng);
       return result;
     };
 
-    if (engine == "both") {
-      proteus::interp::Value ref = run(false);
-      proteus::interp::Value vec = run(true);
+    if (engine == "both" || engine == "all") {
+      proteus::interp::Value ref = run("ref");
+      proteus::interp::Value vec = run("vec");
+      bool agree = ref == vec;
+      if (engine == "all") {
+        proteus::interp::Value vmv = run("vm");
+        if (!(vec == vmv)) {
+          std::cerr << "proteusc: ENGINE MISMATCH\n  vec: " << vec
+                    << "\n  vm:  " << vmv << '\n';
+          return 1;
+        }
+      }
       std::cout << vec << '\n';
-      if (!(ref == vec)) {
+      if (!agree) {
         std::cerr << "proteusc: ENGINE MISMATCH\n  ref: " << ref
                   << "\n  vec: " << vec << '\n';
         return 1;
       }
-      std::cerr << "[both] engines agree\n";
+      std::cerr << (engine == "all" ? "[all] engines agree\n"
+                                    : "[both] engines agree\n");
     } else {
-      std::cout << run(engine == "vec") << '\n';
+      std::cout << run(engine) << '\n';
     }
     return 0;
   } catch (const proteus::Error& e) {
