@@ -8,10 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <map>
 #include <random>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/proteus.hpp"
+#include "core/report.hpp"
 
 namespace proteus::bench {
 
@@ -72,6 +80,8 @@ inline void report_cost(::benchmark::State& state, const Session& session) {
       static_cast<double>(c.vector_work.element_work);
   state.counters["prims"] =
       static_cast<double>(c.vector_work.primitive_calls);
+  state.counters["segments"] =
+      static_cast<double>(c.vector_work.segment_work);
 }
 
 inline void report_interp_cost(::benchmark::State& state,
@@ -81,5 +91,87 @@ inline void report_interp_cost(::benchmark::State& state,
   state.counters["scalar_ops"] =
       static_cast<double>(session.last_cost().reference.scalar_ops);
 }
+
+inline const char* backend_name() {
+  return vl::backend() == vl::Backend::kOpenMP ? "openmp" : "serial";
+}
+
+/// Times `fn` once per benchmark iteration and returns the best (minimum)
+/// wall-clock nanoseconds observed — the usual noise-resistant estimator
+/// for machine-readable reports.
+template <class Fn>
+inline std::uint64_t best_wall_ns(::benchmark::State& state, Fn&& fn) {
+  std::uint64_t best = UINT64_MAX;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    best = std::min(best, static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  return best;
+}
+
+/// Machine-readable bench output: accumulates one record per measured
+/// run and, at process exit, writes a BENCH_<workload>.json file per
+/// workload into the current directory:
+///
+///   {"bench": "<workload>", "schema": 1,
+///    "runs": [{"engine": "...", "backend": "...", "n": N,
+///              "wall_ns": T, "metrics": {"vl.element_work": ..., ...}},
+///             ...]}
+///
+/// `metrics` is the session's unified per-run registry (the same names
+/// `proteusc --stats=json` emits), so work / steps / per-primitive
+/// counters ride along with the wall-clock numbers.
+class JsonReporter {
+ public:
+  static JsonReporter& instance() {
+    static JsonReporter reporter;
+    return reporter;
+  }
+
+  void record(const std::string& workload, std::string_view engine,
+              std::int64_t n, std::uint64_t wall_ns,
+              const Session& session) {
+    std::ostringstream os;
+    os << "{\"engine\":\"" << engine << "\",\"backend\":\""
+       << backend_name() << "\",\"n\":" << n << ",\"wall_ns\":" << wall_ns
+       << ",\"metrics\":";
+    session.last_cost().metrics.write_json(os);
+    os << '}';
+    // google-benchmark re-enters the bench function while calibrating the
+    // iteration count; keep only the final (longest-running) measurement
+    // of each configuration.
+    std::ostringstream key;
+    key << engine << '/' << backend_name() << '/' << n;
+    auto& runs = runs_[workload];
+    for (auto& [k, json] : runs) {
+      if (k == key.str()) {
+        json = os.str();
+        return;
+      }
+    }
+    runs.emplace_back(key.str(), os.str());
+  }
+
+  ~JsonReporter() {
+    for (const auto& [workload, runs] : runs_) {
+      std::ofstream out("BENCH_" + workload + ".json");
+      if (!out) continue;
+      out << "{\"bench\":\"" << workload << "\",\"schema\":1,\"runs\":[";
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i > 0) out << ',';
+        out << runs[i].second;
+      }
+      out << "]}\n";
+    }
+  }
+
+ private:
+  JsonReporter() = default;
+  std::map<std::string,
+           std::vector<std::pair<std::string, std::string>>> runs_;
+};
 
 }  // namespace proteus::bench

@@ -1,0 +1,77 @@
+// bench_obs_overhead — cost of the always-compiled-in instrumentation.
+//
+// Every vector primitive in the tree executor and every kernel opcode in
+// the VM constructs an obs::Span. With no tracer installed that is one
+// relaxed atomic load and a branch, so the *untraced* numbers here must
+// match the pre-instrumentation baseline within noise (< 2% on quicksort
+// n = 100k is the acceptance bar; compare BM_quicksort_*_untraced against
+// the same-revision-minus-obs build or historical bench_sec6_quicksort
+// output). The *traced* variants show the real price of recording —
+// expected to be visible, which is why tracing is opt-in.
+#include "bench_common.hpp"
+
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace proteus;
+using namespace proteus::bench;
+
+const char* kProgram = R"(
+  fun quicksort(v: seq(int)): seq(int) =
+    if #v <= 1 then v
+    else
+      let pivot = v[1 + (#v / 2)] in
+      let parts = [p <- [[x <- v | x < pivot : x],
+                         [x <- v | x > pivot : x]] : quicksort(p)] in
+      parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+)";
+
+void quicksort_run(benchmark::State& state, const std::string& engine,
+                   bool traced) {
+  Session session(kProgram);
+  interp::Value input =
+      random_int_seq(3, static_cast<int>(state.range(0)), 0, 1 << 30);
+
+  obs::Tracer tracer;
+  obs::MaybeTracerScope scope(traced ? &tracer : nullptr);
+  if (traced) session.set_tracer(&tracer);
+
+  for (auto _ : state) {
+    // Keep the traced variant honest: don't let the event buffer grow
+    // (and reallocate) across iterations.
+    tracer.clear();
+    if (engine == "vm") {
+      benchmark::DoNotOptimize(session.run_vm("quicksort", {input}));
+    } else {
+      benchmark::DoNotOptimize(session.run_vector("quicksort", {input}));
+    }
+  }
+  report_cost(state, session);
+  if (traced) {
+    state.counters["events"] = static_cast<double>(tracer.event_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_quicksort_vec_untraced(benchmark::State& s) {
+  quicksort_run(s, "vec", false);
+}
+void BM_quicksort_vec_traced(benchmark::State& s) {
+  quicksort_run(s, "vec", true);
+}
+void BM_quicksort_vm_untraced(benchmark::State& s) {
+  quicksort_run(s, "vm", false);
+}
+void BM_quicksort_vm_traced(benchmark::State& s) {
+  quicksort_run(s, "vm", true);
+}
+
+BENCHMARK(BM_quicksort_vec_untraced)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_quicksort_vec_traced)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_quicksort_vm_untraced)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_quicksort_vm_traced)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/report.hpp"
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
 #include "vl/check.hpp"
@@ -12,6 +13,10 @@ using interp::Value;
 using interp::ValueList;
 using lang::FunDef;
 using lang::TypePtr;
+
+/// Installs a Session-level tracer (when one is set) for the duration of
+/// a run_* call.
+using RunScope = obs::MaybeTracerScope;
 
 Session::Session(std::string_view program_source,
                  std::string_view entry_source,
@@ -34,9 +39,19 @@ TypePtr Session::result_type(const std::string& name) const {
 
 Value Session::run_reference(const std::string& name,
                              const ValueList& args) {
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   interp::Interpreter interp(compiled_.checked);
-  Value result = interp.call_function(name, args);
-  cost_.reference = interp.stats();
+  Value result;
+  {
+    obs::Span span("run", "run.reference");
+    result = interp.call_function(name, args);
+    cost_.reference = interp.stats();
+    span.counter("iterations", cost_.reference.iterations);
+    span.counter("scalar_ops", cost_.reference.scalar_ops);
+    span.counter("calls", cost_.reference.calls);
+  }
+  publish_metrics(cost_, "ref");
   return result;
 }
 
@@ -44,6 +59,8 @@ Value Session::run_vector(const std::string& name, const ValueList& args) {
   const FunDef& f = checked_fun(name);
   PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
                   "'" + name + "' called with wrong argument count");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   std::vector<exec::VValue> vargs;
   vargs.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -51,9 +68,18 @@ Value Session::run_vector(const std::string& name, const ValueList& args) {
   }
   exec::Executor ex(compiled_.vec, prim_options_);
   vl::reset_stats();
-  exec::VValue result = ex.call_function(name, vargs);
-  cost_.vector_ops = ex.stats();
-  cost_.vector_work = vl::stats();
+  exec::VValue result;
+  {
+    obs::Span span("run", "run.vector");
+    result = ex.call_function(name, vargs);
+    cost_.vector_ops = ex.stats();
+    cost_.vector_work = vl::stats();
+    span.counter("elements", cost_.vector_work.element_work);
+    span.counter("segments", cost_.vector_work.segment_work);
+    span.counter("prims", cost_.vector_work.primitive_calls);
+    span.counter("calls", cost_.vector_ops.calls);
+  }
+  publish_metrics(cost_, "vec");
   return exec::to_boxed(result, f.result);
 }
 
@@ -61,6 +87,8 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   const FunDef& f = checked_fun(name);
   PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
                   "'" + name + "' called with wrong argument count");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   std::vector<exec::VValue> vargs;
   vargs.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -68,40 +96,81 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   }
   vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
   vl::reset_stats();
-  exec::VValue result = machine.call_function(name, vargs);
-  cost_.vm_ops = machine.stats();
-  cost_.vector_work = vl::stats();
+  exec::VValue result;
+  {
+    obs::Span span("run", "run.vm");
+    result = machine.call_function(name, vargs);
+    cost_.vm_ops = machine.stats();
+    cost_.vector_work = vl::stats();
+    span.counter("elements", cost_.vector_work.element_work);
+    span.counter("segments", cost_.vector_work.segment_work);
+    span.counter("instructions", cost_.vm_ops.instructions);
+    span.counter("calls", cost_.vm_ops.calls);
+  }
+  publish_metrics(cost_, "vm");
   return exec::to_boxed(result, f.result);
 }
 
 Value Session::run_entry_reference() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_checked != nullptr,
                   "session was created without an entry expression");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   interp::Interpreter interp(compiled_.checked);
-  Value result = interp.eval(compiled_.entry_checked);
-  cost_.reference = interp.stats();
+  Value result;
+  {
+    obs::Span span("run", "run.reference");
+    result = interp.eval(compiled_.entry_checked);
+    cost_.reference = interp.stats();
+    span.counter("iterations", cost_.reference.iterations);
+    span.counter("scalar_ops", cost_.reference.scalar_ops);
+    span.counter("calls", cost_.reference.calls);
+  }
+  publish_metrics(cost_, "ref");
   return result;
 }
 
 Value Session::run_entry_vector() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
                   "session was created without an entry expression");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   exec::Executor ex(compiled_.vec, prim_options_);
   vl::reset_stats();
-  exec::VValue result = ex.eval(compiled_.entry_vec);
-  cost_.vector_ops = ex.stats();
-  cost_.vector_work = vl::stats();
+  exec::VValue result;
+  {
+    obs::Span span("run", "run.vector");
+    result = ex.eval(compiled_.entry_vec);
+    cost_.vector_ops = ex.stats();
+    cost_.vector_work = vl::stats();
+    span.counter("elements", cost_.vector_work.element_work);
+    span.counter("segments", cost_.vector_work.segment_work);
+    span.counter("prims", cost_.vector_work.primitive_calls);
+    span.counter("calls", cost_.vector_ops.calls);
+  }
+  publish_metrics(cost_, "vec");
   return exec::to_boxed(result, compiled_.entry_checked->type);
 }
 
 Value Session::run_entry_vm() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
                   "session was created without an entry expression");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
   vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
   vl::reset_stats();
-  exec::VValue result = machine.eval_entry();
-  cost_.vm_ops = machine.stats();
-  cost_.vector_work = vl::stats();
+  exec::VValue result;
+  {
+    obs::Span span("run", "run.vm");
+    result = machine.eval_entry();
+    cost_.vm_ops = machine.stats();
+    cost_.vector_work = vl::stats();
+    span.counter("elements", cost_.vector_work.element_work);
+    span.counter("segments", cost_.vector_work.segment_work);
+    span.counter("instructions", cost_.vm_ops.instructions);
+    span.counter("calls", cost_.vm_ops.calls);
+  }
+  publish_metrics(cost_, "vm");
   return exec::to_boxed(result, compiled_.entry_checked->type);
 }
 

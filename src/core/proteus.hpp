@@ -29,18 +29,26 @@
 
 #include "exec/exec.hpp"
 #include "interp/interp.hpp"
+#include "obs/obs.hpp"
 #include "vl/backend.hpp"
 #include "vm/vm.hpp"
 #include "xform/pipeline.hpp"
 
 namespace proteus {
 
-/// Cost counters from the most recent run_* call on a Session.
+/// Cost counters from the most recent run_* call on a Session. Reset at
+/// the start of every run_* call, so it never mixes two runs.
+///
+/// The engine-specific structs stay the fast hot-path counters; after
+/// the run they are published into `metrics` under the unified schema of
+/// docs/OBSERVABILITY.md ("ref.*", "vec.*", "vm.*", "vl.*"), so every
+/// engine reports through the same names and the same exporters.
 struct RunCost {
   interp::InterpStats reference;  ///< populated by run_reference
   exec::ExecStats vector_ops;     ///< populated by run_vector
   vl::VectorStats vector_work;    ///< vl primitive calls / element work
   vm::VMStats vm_ops;             ///< populated by run_vm (per-opcode profile)
+  obs::MetricsRegistry metrics;   ///< the unified flat view of the above
 };
 
 class Session {
@@ -78,6 +86,13 @@ class Session {
   /// (one clock read per instruction; off by default).
   void set_vm_profile(bool enabled) { vm_profile_ = enabled; }
 
+  /// Installs a tracer for subsequent run_* calls: each run installs it
+  /// as the process-global obs sink for its duration and records one
+  /// "run" span per execution plus per-primitive / per-opcode spans.
+  /// Pass nullptr to detach. To also trace compilation, install the
+  /// tracer globally (obs::set_tracer) before constructing the Session.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// All intermediate forms (checked / canonical / flat / vector).
   [[nodiscard]] const xform::Compiled& compiled() const { return compiled_; }
 
@@ -93,6 +108,7 @@ class Session {
   xform::Compiled compiled_;
   exec::PrimOptions prim_options_;
   bool vm_profile_ = false;
+  obs::Tracer* tracer_ = nullptr;
   RunCost cost_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
+#include "vl/backend.hpp"
 #include "vl/check.hpp"
 
 namespace proteus::exec {
@@ -100,14 +102,28 @@ class VEval {
     std::vector<VValue> args = eval_args(n.args, env);
     host_.stats_.prim_applications += 1;
     host_.stats_.per_prim[n.op] += 1;
+    // One runtime span per vl primitive family; the element-work delta
+    // of the shared kernel table is attributed to it. Inactive cost is
+    // one branch (see obs/tracer.hpp).
+    obs::Span span("prim", lang::prim_name(n.op));
+    const std::uint64_t work0 =
+        span.active() ? vl::stats().element_work : 0;
+    VValue result;
     if (n.op == Prim::kEmptyFrame) {
-      return empty_frame_value(args[0], n.depth, e->type);
+      result = empty_frame_value(args[0], n.depth, e->type);
+    } else if (n.depth == 0) {
+      result = apply_prim0(n.op, args);
+    } else {
+      PROTEUS_REQUIRE(EvalError, n.depth == 1,
+                      "vector executor given a depth >= 2 primitive call; "
+                      "run the T1 translation first");
+      result = apply_prim1(n.op, args, n.lifted, host_.options_);
     }
-    if (n.depth == 0) return apply_prim0(n.op, args);
-    PROTEUS_REQUIRE(EvalError, n.depth == 1,
-                    "vector executor given a depth >= 2 primitive call; run "
-                    "the T1 translation first");
-    return apply_prim1(n.op, args, n.lifted, host_.options_);
+    if (span.active()) {
+      span.counter("elements", vl::stats().element_work - work0);
+      span.counter("depth", static_cast<std::uint64_t>(n.depth));
+    }
+    return result;
   }
 
   VValue eval_node(const lang::FunCall& n, const ExprPtr&, Env& env) {

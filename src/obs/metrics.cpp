@@ -1,0 +1,41 @@
+#include "obs/metrics.hpp"
+
+#include "obs/tracer.hpp"
+
+namespace proteus::obs {
+
+void MetricsRegistry::set(std::string name, std::uint64_t value) {
+  values_[std::move(name)] = value;
+}
+
+void MetricsRegistry::add(std::string name, std::uint64_t delta) {
+  values_[std::move(name)] += delta;
+}
+
+std::uint64_t MetricsRegistry::get(std::string_view name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  for (const auto& [name, value] : values_) {
+    os << name << ' ' << value << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << value;
+  }
+  os << '}';
+}
+
+}  // namespace proteus::obs

@@ -1,0 +1,54 @@
+// metrics.hpp — the flat metric sink all engines report through.
+//
+// A MetricsRegistry is an ordered map of dotted metric names to integer
+// values ("vl.element_work", "vm.instructions", "vec.prim.plus", ...).
+// The engine-specific stat structs (interp::InterpStats, exec::ExecStats,
+// vm::VMStats, vl::VectorStats) stay plain structs on the hot paths;
+// after every Session::run_* call they are *published* into one registry
+// under the unified schema of docs/OBSERVABILITY.md, so the three
+// engines — and every future one — report through the same names and
+// the same exporters (text and JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace proteus::obs {
+
+class MetricsRegistry {
+ public:
+  /// Transparent comparator so string_view lookups don't allocate.
+  using Map = std::map<std::string, std::uint64_t, std::less<>>;
+
+  /// Sets `name` to `value` (overwrites).
+  void set(std::string name, std::uint64_t value);
+
+  /// Adds `delta` to `name` (creates at 0).
+  void add(std::string name, std::uint64_t delta);
+
+  /// Value of `name`, or 0 when never reported.
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+
+  /// True when `name` has been reported.
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  [[nodiscard]] const Map& all() const { return values_; }
+
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  void clear() { values_.clear(); }
+
+  /// One "name value" line per metric, sorted by name.
+  void write_text(std::ostream& os) const;
+
+  /// A flat JSON object {"name": value, ...}, sorted by name.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Map values_;
+};
+
+}  // namespace proteus::obs

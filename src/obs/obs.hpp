@@ -1,0 +1,9 @@
+// obs.hpp — umbrella header for the tracing & metrics subsystem.
+//
+// Spans + Chrome-trace export: obs/tracer.hpp.
+// Unified metric sink + text/JSON reports: obs/metrics.hpp.
+// Schema and usage: docs/OBSERVABILITY.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"

@@ -1,0 +1,167 @@
+#include "obs/tracer.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace proteus::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::uint32_t make_thread_id() noexcept {
+  return g_next_thread_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Microseconds with sub-microsecond precision, the unit of the Chrome
+/// trace-event "ts"/"dur" fields.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+void write_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  bool first = true;
+  for (const Counter& c : e.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(c.first) << "\":" << c.second;
+  }
+  if (!e.text.empty()) {
+    if (!first) os << ',';
+    os << "\"expr\":\"" << json_escape(e.text) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+Tracer* set_tracer(Tracer* t) noexcept {
+  return g_tracer.exchange(t, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_id() noexcept {
+  thread_local const std::uint32_t id = make_thread_id();
+  return id;
+}
+
+Tracer::Tracer() : epoch_(Clock::now()) {}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch_)
+          .count());
+}
+
+void Tracer::record(TraceEvent e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(const char* cat, std::string name, std::string text,
+                     std::vector<Counter> counters) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.text = std::move(text);
+  e.start_ns = now_ns();
+  e.tid = thread_id();
+  e.counters = std::move(counters);
+  record(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> snapshot = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\""
+       << (e.kind == TraceEvent::Kind::kSpan ? 'X' : 'i')
+       << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":";
+    write_us(os, e.start_ns);
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      os << ",\"dur\":";
+      write_us(os, e.dur_ns);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ',';
+    write_args(os, e);
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<std::string> Tracer::rule_lines(std::size_t from) const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::vector<std::string> lines;
+  for (std::size_t i = from; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    if (e.kind != TraceEvent::Kind::kInstant ||
+        std::string_view(e.cat) != "rule") {
+      continue;
+    }
+    std::uint64_t depth = 0;
+    for (const Counter& c : e.counters) {
+      if (c.first == "depth") depth = c.second;
+    }
+    lines.push_back("{" + e.name + "} @" + std::to_string(depth) + "  " +
+                    e.text);
+  }
+  return lines;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace proteus::obs

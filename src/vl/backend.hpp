@@ -58,10 +58,17 @@ class BackendGuard {
 struct VectorStats {
   std::uint64_t primitive_calls = 0;  ///< number of vector primitives issued
   std::uint64_t element_work = 0;     ///< total elements touched (work)
+  std::uint64_t segment_work = 0;     ///< segments touched by segdesc ops
 
   void record(Size elements) noexcept {
     primitive_calls += 1;
     element_work += static_cast<std::uint64_t>(elements);
+  }
+
+  /// Segmented primitives additionally report how many segments their
+  /// descriptor covered — the irregularity measure of a run.
+  void record_segments(Size segments) noexcept {
+    segment_work += static_cast<std::uint64_t>(segments);
   }
 };
 

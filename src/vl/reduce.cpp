@@ -39,6 +39,7 @@ Vec<T> seg_reduce_impl(const Vec<T>& v, const IntVec& seg_lengths) {
     op[s] = acc;
   });
   stats().record(v.size());
+  stats().record_segments(nseg);
   return out;
 }
 

@@ -174,9 +174,11 @@ Vec<T> seg_scan_flat(const Vec<T>& in, const IntVec& seg_lengths) {
       ep[i] = head[std::size_t(i)] ? Op::identity() : op[i - 1];
     }
     stats().record(in.size());
+    stats().record_segments(seg_lengths.size());
     return excl;
   }
   stats().record(in.size());
+  stats().record_segments(seg_lengths.size());
   return out;
 #else
   (void)seg_lengths;
@@ -222,6 +224,7 @@ Vec<T> seg_scan(const Vec<T>& in, const IntVec& seg_lengths, const char* name) {
     }
   }
   stats().record(in.size());
+  stats().record_segments(nseg);
   return out;
 }
 

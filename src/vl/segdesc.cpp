@@ -20,6 +20,7 @@ Size lengths_total(const IntVec& lengths) {
       },
       [](Size a, Size b) { return a + b; });
   stats().record(lengths.size());
+  stats().record_segments(lengths.size());
   return total;
 }
 
@@ -51,6 +52,7 @@ BoolVec lengths_to_flags(const IntVec& lengths, Size total) {
     fp[op[s]] = 1;
   });
   stats().record(lengths.size());
+  stats().record_segments(lengths.size());
   return flags;
 }
 
@@ -84,6 +86,7 @@ IntVec segment_ids(const IntVec& lengths) {
     for (Int k = 0; k < lp[s]; ++k) ip[op[s] + k] = s;
   });
   stats().record(total);
+  stats().record_segments(lengths.size());
   return ids;
 }
 
@@ -98,6 +101,7 @@ IntVec segment_ranks(const IntVec& lengths) {
     for (Int k = 0; k < lp[s]; ++k) rp[op[s] + k] = k + 1;
   });
   stats().record(total);
+  stats().record_segments(lengths.size());
   return ranks;
 }
 

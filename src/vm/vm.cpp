@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "vl/backend.hpp"
 #include "vl/check.hpp"
 
@@ -121,7 +122,9 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
     }
 
     // Kernel opcodes: attribute vl element work (and, when profiling,
-    // wall time) to this opcode family.
+    // wall time) to this opcode family. The span costs one branch per
+    // kernel instruction when no tracer is installed.
+    obs::Span span("op", op_name(in.op));
     const std::uint64_t work0 = vl::stats().element_work;
     const Clock::time_point t0 = profile ? Clock::now() : Clock::time_point{};
     VValue out;
@@ -172,6 +175,9 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
         stats_.per_prim[lang::Prim::kAnyTrue] += 1;
         const bool any = kernels::any_true_frame(regs[a[0]]);
         prof.element_work += vl::stats().element_work - work0;
+        if (span.active()) {
+          span.counter("elements", vl::stats().element_work - work0);
+        }
         if (profile) {
           prof.nanos += static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -200,6 +206,9 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
         throw EvalError("vm: corrupt instruction stream");
     }
     prof.element_work += vl::stats().element_work - work0;
+    if (span.active()) {
+      span.counter("elements", vl::stats().element_work - work0);
+    }
     if (profile) {
       prof.nanos += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -

@@ -3,6 +3,8 @@
 // static type so downstream passes and engines never re-infer.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,11 @@
 #include "lang/typecheck.hpp"
 
 namespace proteus::xform {
+
+/// Rule-firing tallies of a transformation pass, keyed by rule name
+/// ("R1", "R2a" ... "R2f", "hoist"). Attached as counters to the
+/// compile-phase spans and surfaced through Compiled::rule_counts.
+using RuleCounts = std::map<std::string, std::uint64_t>;
 
 /// Source of fresh variable names. Generated names use the reserved "_t"
 /// prefix (see README: user identifiers beginning with "_t" are reserved

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "lang/printer.hpp"
+#include "obs/tracer.hpp"
 #include "vl/check.hpp"
 
 namespace proteus::xform {
@@ -33,7 +35,8 @@ ExprPtr as_range1(const ExprPtr& domain) {
 
 class Canon {
  public:
-  explicit Canon(NameGen& names) : names_(names) {}
+  explicit Canon(NameGen& names, RuleCounts* rules)
+      : names_(names), rules_(rules) {}
 
   ExprPtr rewrite(const ExprPtr& e) {
     if (e == nullptr) return nullptr;
@@ -98,6 +101,7 @@ class Canon {
     // Filter desugaring (Section 2):
     //   [x <- d | b : e] = [x <- restrict(d, [x <- d : b]) : e]
     if (node.filter != nullptr) {
+      log_rule("R1f", e);
       ExprPtr filter = rewrite(node.filter);
       std::string dname = names_.fresh("d");
       std::string mname = names_.fresh("m");
@@ -126,6 +130,7 @@ class Canon {
       return make_expr(Iterator{var, as_range1(domain), nullptr, body},
                        std::move(type), loc);
     }
+    log_rule("R1", domain);
     std::string vname = names_.fresh("v");
     std::string iname = names_.fresh("i");
     ExprPtr vvar = nb::var(vname, domain->type);
@@ -139,21 +144,35 @@ class Canon {
     return nb::let(vname, domain, iter);
   }
 
+  /// Tallies an R1-family firing and mirrors it as a "rule" instant
+  /// event on the installed tracer (same shape as the R2 events of
+  /// flatten.cpp, so one renderer serves the whole derivation).
+  void log_rule(const char* rule, const ExprPtr& e) {
+    if (rules_ != nullptr) (*rules_)[rule] += 1;
+    obs::Tracer* t = obs::tracer();
+    if (t == nullptr) return;
+    std::string text = to_text(e);
+    if (text.size() > 64) text = text.substr(0, 61) + "...";
+    t->instant("rule", rule, std::move(text), {{"depth", 0}});
+  }
+
   NameGen& names_;
+  RuleCounts* rules_;
 };
 
 }  // namespace
 
-ExprPtr canonicalize(const ExprPtr& e, NameGen& names) {
-  return Canon(names).rewrite(e);
+ExprPtr canonicalize(const ExprPtr& e, NameGen& names, RuleCounts* rules) {
+  return Canon(names, rules).rewrite(e);
 }
 
-Program canonicalize(const Program& program, NameGen& names) {
+Program canonicalize(const Program& program, NameGen& names,
+                     RuleCounts* rules) {
   Program out;
   out.functions.reserve(program.functions.size());
   for (const FunDef& f : program.functions) {
     FunDef g = f;
-    g.body = canonicalize(f.body, names);
+    g.body = canonicalize(f.body, names, rules);
     out.functions.push_back(std::move(g));
   }
   return out;

@@ -21,12 +21,17 @@
 
 namespace proteus::xform {
 
-/// Canonicalizes every iterator in `e`.
+/// Canonicalizes every iterator in `e`. When `rules` is non-null, R1
+/// firings ("R1" domain rewrites, "R1f" filter desugarings) are tallied
+/// into it; each firing is also emitted as a "rule" instant event on the
+/// installed obs tracer.
 [[nodiscard]] lang::ExprPtr canonicalize(const lang::ExprPtr& e,
-                                         NameGen& names);
+                                         NameGen& names,
+                                         RuleCounts* rules = nullptr);
 
 /// Canonicalizes every function body of a checked program.
 [[nodiscard]] lang::Program canonicalize(const lang::Program& program,
-                                         NameGen& names);
+                                         NameGen& names,
+                                         RuleCounts* rules = nullptr);
 
 }  // namespace proteus::xform

@@ -7,6 +7,7 @@
 
 #include "vl/check.hpp"
 #include "lang/printer.hpp"
+#include "obs/tracer.hpp"
 #include "xform/freevars.hpp"
 
 namespace proteus::xform {
@@ -59,7 +60,7 @@ class Flattener {
     }
     scan_function_values();
     drain_worklist();
-    return {std::move(output_)};
+    return {std::move(output_), std::move(rules_)};
   }
 
   ExprPtr run_expression(const ExprPtr& expr) {
@@ -74,7 +75,9 @@ class Flattener {
     return r.expr;
   }
 
-  FlattenedProgram take_program() { return {std::move(output_)}; }
+  FlattenedProgram take_program() {
+    return {std::move(output_), std::move(rules_)};
+  }
 
  private:
   // --- program-level driving --------------------------------------------------
@@ -237,13 +240,18 @@ class Flattener {
 
   // --- the transformation tau(e, j) -------------------------------------------
 
-  /// Appends a derivation line "{rule} @j source-snippet".
+  /// Tallies a rule firing and, when a tracer is installed, records it
+  /// as a "rule" instant event carrying the depth and a source snippet
+  /// (the KIDS-style derivation annotation of Section 5). The textual
+  /// derivation and the Chrome trace both render from these events.
   void log_rule(const char* rule, const ExprPtr& e, int j) {
-    if (opts_.trace_sink == nullptr) return;
+    rules_[rule] += 1;
+    obs::Tracer* t = obs::tracer();
+    if (t == nullptr) return;
     std::string text = to_text(e);
     if (text.size() > 64) text = text.substr(0, 61) + "...";
-    opts_.trace_sink->push_back(std::string("{") + rule + "} @" +
-                                std::to_string(j) + "  " + text);
+    t->instant("rule", rule, std::move(text),
+               {{"depth", static_cast<std::uint64_t>(j)}});
   }
 
   Res tau(const ExprPtr& e, int j, const Ctx& ctx) {
@@ -681,6 +689,7 @@ class Flattener {
   NameGen& names_;
   FlattenOptions opts_;
   Program output_;
+  RuleCounts rules_;
   std::set<std::string> generated_;
   std::vector<std::string> worklist_;
   std::unordered_map<ExprPtr, std::set<std::string>> free_cache_;

@@ -42,16 +42,17 @@ struct FlattenOptions {
   /// explicitly replicated to the frame depth — the "waste of time and
   /// space" the paper warns about; kept for the ablation bench.
   bool broadcast_invariant_seq_args = true;
-  /// When non-null, receives one line per rule application — the
-  /// KIDS-style derivation annotations the paper shows in Section 5
-  /// ({R2c}, {R2d}, ...).
-  std::vector<std::string>* trace_sink = nullptr;
 };
 
 struct FlattenedProgram {
   /// All original functions (iterator-free bodies) plus every generated
   /// parallel extension f^1 (marked with extension_of / extension_depth).
   lang::Program program;
+  /// How many times each R2 rule fired ({R2a} ... {R2e}, {R0}, hoist).
+  /// When an obs tracer is installed, each firing is additionally
+  /// recorded as a "rule" instant event with depth and source snippet —
+  /// the KIDS-style derivation annotations the paper shows in Section 5.
+  RuleCounts rule_counts;
 };
 
 /// Flattens every function of a canonical checked program.

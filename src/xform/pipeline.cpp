@@ -4,6 +4,7 @@
 
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
+#include "obs/tracer.hpp"
 #include "xform/canon.hpp"
 #include "xform/optimize.hpp"
 #include "xform/translate.hpp"
@@ -14,59 +15,129 @@ namespace proteus::xform {
 
 using namespace lang;
 
+namespace {
+
+void attach_rules(obs::Span& span, const RuleCounts& rules) {
+  for (const auto& [rule, count] : rules) span.counter(rule, count);
+}
+
+void merge_rules(RuleCounts& into, const RuleCounts& from) {
+  for (const auto& [rule, count] : from) into[rule] += count;
+}
+
+}  // namespace
+
 Compiled compile(std::string_view program_source,
                  std::string_view entry_source,
                  const PipelineOptions& options) {
   Compiled out;
   NameGen names;
 
-  Program parsed = parse_program(program_source);
-  out.checked = typecheck(parsed);
+  // The derivation trace rides on the span/event model: with no tracer
+  // installed, collect_trace records into a pipeline-local one; with a
+  // tracer installed (e.g. proteusc --trace-json), its event stream is
+  // reused and only this compile's slice is rendered.
+  obs::Tracer local_trace;
+  const bool use_local_trace =
+      options.collect_trace && obs::tracer() == nullptr;
+  obs::MaybeTracerScope trace_scope(use_local_trace ? &local_trace
+                                                    : nullptr);
+  obs::Tracer* trace = obs::tracer();
+  const std::size_t first_event =
+      trace != nullptr ? trace->event_count() : 0;
 
-  if (!entry_source.empty()) {
-    ExprPtr entry = parse_expression(entry_source);
-    Program lifted;
-    out.entry_checked = typecheck_expression(out.checked, entry, &lifted);
-    // Lambdas lifted out of the entry expression join the program.
-    for (FunDef& f : lifted.functions) {
-      out.checked.functions.push_back(std::move(f));
+  obs::Span whole("compile", "compile");
+
+  Program parsed;
+  {
+    obs::Span span("compile", "parse");
+    span.counter("source_bytes", program_source.size());
+    parsed = parse_program(program_source);
+  }
+
+  {
+    obs::Span span("compile", "check");
+    out.checked = typecheck(parsed);
+    if (!entry_source.empty()) {
+      ExprPtr entry = parse_expression(entry_source);
+      Program lifted;
+      out.entry_checked = typecheck_expression(out.checked, entry, &lifted);
+      // Lambdas lifted out of the entry expression join the program.
+      for (FunDef& f : lifted.functions) {
+        out.checked.functions.push_back(std::move(f));
+      }
+    }
+    span.counter("functions", out.checked.functions.size());
+  }
+
+  ExprPtr entry_canonical;
+  {
+    obs::Span span("compile", "canonicalize[R1]");
+    RuleCounts r1;
+    out.canonical = canonicalize(out.checked, names, &r1);
+    if (out.entry_checked != nullptr) {
+      entry_canonical = canonicalize(out.entry_checked, names, &r1);
+    }
+    attach_rules(span, r1);
+    merge_rules(out.rule_counts, r1);
+  }
+
+  {
+    obs::Span span("compile", "flatten[R2]");
+    if (out.entry_checked != nullptr) {
+      FlattenedProgram flat;
+      out.entry_flat = flatten_expression(out.canonical, entry_canonical,
+                                          names, &flat, options.flatten);
+      out.flat = std::move(flat.program);
+      attach_rules(span, flat.rule_counts);
+      merge_rules(out.rule_counts, flat.rule_counts);
+    } else {
+      FlattenedProgram flat = flatten(out.canonical, names, options.flatten);
+      out.flat = std::move(flat.program);
+      attach_rules(span, flat.rule_counts);
+      merge_rules(out.rule_counts, flat.rule_counts);
     }
   }
 
-  out.canonical = canonicalize(out.checked, names);
-
-  FlattenOptions flatten_options = options.flatten;
-  if (options.collect_trace) flatten_options.trace_sink = &out.derivation;
-
-  if (out.entry_checked != nullptr) {
-    ExprPtr entry_canonical = canonicalize(out.entry_checked, names);
-    FlattenedProgram flat;
-    out.entry_flat = flatten_expression(out.canonical, entry_canonical, names,
-                                        &flat, flatten_options);
-    out.flat = std::move(flat.program);
+  {
+    obs::Span span("compile", "optimize");
     if (options.shared_row_gather) {
       out.flat = optimize_shared_rows(out.flat);
-      out.entry_flat = optimize_shared_rows(out.entry_flat);
+      if (out.entry_flat != nullptr) {
+        out.entry_flat = optimize_shared_rows(out.entry_flat);
+      }
     }
     out.flat = remove_dead_lets(out.flat);
-    out.entry_flat = remove_dead_lets(out.entry_flat);
-    out.entry_vec = translate(out.entry_flat, names);
-  } else {
-    out.flat = flatten(out.canonical, names, flatten_options).program;
-    if (options.shared_row_gather) {
-      out.flat = optimize_shared_rows(out.flat);
+    if (out.entry_flat != nullptr) {
+      out.entry_flat = remove_dead_lets(out.entry_flat);
     }
-    out.flat = remove_dead_lets(out.flat);
   }
 
-  out.vec = translate(out.flat, names);
+  {
+    obs::Span span("compile", "translate[T1]");
+    if (out.entry_flat != nullptr) {
+      out.entry_vec = translate(out.entry_flat, names);
+    }
+    out.vec = translate(out.flat, names);
+    span.counter("functions", out.vec.functions.size());
+  }
+
   if (options.verify_output) {
+    obs::Span span("compile", "verify");
     verify_vector_program(out.vec);
     if (out.entry_vec != nullptr) {
       verify_vector_expression(out.vec, out.entry_vec);
     }
   }
-  out.module = vm::compile_module(out.vec, out.entry_vec);
+
+  {
+    obs::Span span("compile", "vm-assemble");
+    out.module = vm::compile_module(out.vec, out.entry_vec);
+  }
+
+  if (options.collect_trace && trace != nullptr) {
+    out.derivation = trace->rule_lines(first_event);
+  }
   return out;
 }
 

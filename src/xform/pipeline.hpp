@@ -31,7 +31,11 @@ struct PipelineOptions {
   /// catches transformation bugs at compile time instead of run time).
   bool verify_output = true;
   /// Collect a KIDS-style derivation trace (one line per rule firing)
-  /// into Compiled::derivation.
+  /// into Compiled::derivation. Implemented over the obs span/event
+  /// model: each firing is a "rule" instant event; with no tracer
+  /// installed, compile() records into a pipeline-local one. The same
+  /// events back the Chrome trace export, so the textual and JSON
+  /// derivations cannot diverge.
   bool collect_trace = false;
 };
 
@@ -53,6 +57,11 @@ struct Compiled {
 
   /// Rule-by-rule derivation log (only when options.collect_trace).
   std::vector<std::string> derivation;
+
+  /// Firing tallies of every transformation rule (R1/R1f from
+  /// canonicalization, R2a–R2e/R0/hoist from flattening) — always
+  /// collected; also attached as counters to the compile-phase spans.
+  RuleCounts rule_counts;
 };
 
 /// Compiles a program (and an optional entry expression evaluated in its

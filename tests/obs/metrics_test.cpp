@@ -1,0 +1,58 @@
+// metrics_test.cpp — the flat metric registry every engine publishes
+// through: set/add semantics, zero-default reads, and the text and JSON
+// renderings --stats is built on.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proteus::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SetAddGet) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.get("vl.element_work"), 0u);
+  EXPECT_FALSE(m.contains("vl.element_work"));
+
+  m.set("vl.element_work", 10);
+  m.add("vl.element_work", 5);
+  m.add("vec.calls", 1);
+  EXPECT_EQ(m.get("vl.element_work"), 15u);
+  EXPECT_EQ(m.get("vec.calls"), 1u);
+  EXPECT_TRUE(m.contains("vec.calls"));
+  EXPECT_FALSE(m.empty());
+
+  m.set("vl.element_work", 3);  // set overwrites
+  EXPECT_EQ(m.get("vl.element_work"), 3u);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.get("vec.calls"), 0u);
+}
+
+TEST(MetricsRegistryTest, WriteTextSortedByName) {
+  MetricsRegistry m;
+  m.set("vl.element_work", 900);
+  m.set("vec.calls", 3);
+  std::ostringstream os;
+  m.write_text(os);
+  EXPECT_EQ(os.str(), "vec.calls 3\nvl.element_work 900\n");
+}
+
+TEST(MetricsRegistryTest, WriteJsonFlatObject) {
+  MetricsRegistry m;
+  std::ostringstream empty;
+  m.write_json(empty);
+  EXPECT_EQ(empty.str(), "{}");
+
+  m.set("vl.element_work", 900);
+  m.set("vec.calls", 3);
+  std::ostringstream os;
+  m.write_json(os);
+  EXPECT_EQ(os.str(), "{\"vec.calls\":3,\"vl.element_work\":900}");
+}
+
+}  // namespace
+}  // namespace proteus::obs

@@ -8,7 +8,11 @@
 //                      all (ref vs vec vs vm)
 //   --dump STAGE       print a stage instead of running:
 //                      checked | canon | flat | vec | vcode | trace
-//   --stats            print cost counters after the run
+//   --stats[=json]     print cost counters after the run (text to
+//                      stderr, or one machine-readable JSON document to
+//                      stdout — see docs/OBSERVABILITY.md for the schema)
+//   --trace-json FILE  record compile + runtime spans and write a Chrome
+//                      trace-event file (open in Perfetto)
 //   --naive            disable the Section 4.5 optimizations (ablation)
 //   --backend B        serial (default) | openmp — vl execution policy
 //
@@ -16,6 +20,7 @@
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]'
 //   proteusc examples/programs/sort.p --entry '[k <- [1..5] : sqs(k)]' --dump vec
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]' --engine vm --stats
+//   proteusc sort.p --call quicksort '[3,1,2]' --trace-json t.json --stats=json
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "core/proteus.hpp"
+#include "core/report.hpp"
 #include "lang/printer.hpp"
 #include "vm/disasm.hpp"
 
@@ -34,7 +40,8 @@ namespace {
       "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
       "                [--engine vec|ref|vm|both|all]\n"
       "                [--dump checked|canon|flat|vec|vcode|trace]\n"
-      "                [--backend serial|openmp] [--stats] [--naive]\n";
+      "                [--backend serial|openmp] [--stats[=json]]\n"
+      "                [--trace-json FILE] [--naive]\n";
   std::exit(err.empty() ? 0 : 2);
 }
 
@@ -46,40 +53,16 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-void print_stats(const proteus::RunCost& cost, const std::string& engine) {
-  if (engine == "ref") {
-    std::cerr << "[stats] iterator iterations: " << cost.reference.iterations
-              << ", scalar ops (work): " << cost.reference.scalar_ops
-              << ", steps (critical path): " << cost.reference.steps
-              << ", user calls: " << cost.reference.calls << '\n';
-    return;
+void write_rule_counts_json(std::ostream& os,
+                            const proteus::xform::RuleCounts& rules) {
+  os << '{';
+  bool first = true;
+  for (const auto& [rule, count] : rules) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << proteus::obs::json_escape(rule) << "\":" << count;
   }
-  std::cerr << "[stats] vector primitives: "
-            << cost.vector_work.primitive_calls
-            << ", element work: " << cost.vector_work.element_work
-            << ", user calls: "
-            << (engine == "vm" ? cost.vm_ops.calls : cost.vector_ops.calls)
-            << '\n';
-  std::cerr << "[stats] instruction mix:";
-  const auto& per_prim =
-      engine == "vm" ? cost.vm_ops.per_prim : cost.vector_ops.per_prim;
-  for (const auto& [op, count] : per_prim) {
-    std::cerr << ' ' << proteus::lang::prim_name(op) << '=' << count;
-  }
-  std::cerr << '\n';
-  if (engine == "vm") {
-    std::cerr << "[stats] vm instructions: " << cost.vm_ops.instructions
-              << "; per-opcode count/work/us:";
-    for (int i = 0; i < proteus::vm::kNumOps; ++i) {
-      const proteus::vm::OpProfile& p =
-          cost.vm_ops.per_op[static_cast<std::size_t>(i)];
-      if (p.count == 0) continue;
-      std::cerr << ' ' << proteus::vm::op_name(static_cast<proteus::vm::Op>(i))
-                << '=' << p.count << '/' << p.element_work << '/'
-                << p.nanos / 1000;
-    }
-    std::cerr << '\n';
-  }
+  os << '}';
 }
 
 }  // namespace
@@ -95,8 +78,10 @@ int main(int argc, char** argv) {
   std::string engine = "vec";
   std::string dump;
   bool stats = false;
+  bool stats_json = false;
   bool naive = false;
   std::string backend = "serial";
+  std::string trace_json;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -119,6 +104,11 @@ int main(int argc, char** argv) {
       dump = next("--dump");
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--stats=json") {
+      stats = true;
+      stats_json = true;
+    } else if (a == "--trace-json") {
+      trace_json = next("--trace-json");
     } else if (a == "--naive") {
       naive = true;
     } else if (a == "--backend") {
@@ -145,19 +135,39 @@ int main(int argc, char** argv) {
     usage("--backend must be serial or openmp");
   }
 
+  // One tracer covers compilation (installed before the Session is
+  // constructed) and every run; `--dump trace` renders its rule events
+  // as text, `--trace-json` exports the whole stream as a Chrome trace.
+  const bool tracing = !trace_json.empty() || dump == "trace";
+  proteus::obs::Tracer tracer;
+  proteus::obs::MaybeTracerScope trace_scope(tracing ? &tracer : nullptr);
+
+  auto write_trace = [&]() {
+    if (trace_json.empty()) return;
+    std::ofstream out(trace_json);
+    if (!out) {
+      std::cerr << "proteusc: cannot write '" << trace_json << "'\n";
+      std::exit(1);
+    }
+    tracer.write_chrome_trace(out);
+  };
+
   try {
     proteus::xform::PipelineOptions options;
-    options.collect_trace = dump == "trace";
     if (naive) {
       options.flatten.broadcast_invariant_seq_args = false;
       options.shared_row_gather = false;
     }
     proteus::Session session(read_file(file), entry, options);
+    if (tracing) session.set_tracer(&tracer);
 
     if (dump == "trace") {
-      for (const std::string& line : session.compiled().derivation) {
+      // Same event stream as --trace-json, rendered textually: the two
+      // derivation views cannot diverge.
+      for (const std::string& line : tracer.rule_lines()) {
         std::cout << line << '\n';
       }
+      write_trace();
       return 0;
     }
     if (dump == "vcode") {
@@ -194,6 +204,7 @@ int main(int argc, char** argv) {
       session.set_vm_profile(true);
     }
 
+    std::vector<std::string> run_reports;  // one JSON object per run
     auto run = [&](const std::string& eng) -> proteus::interp::Value {
       proteus::interp::Value result;
       if (!call.empty()) {
@@ -211,10 +222,19 @@ int main(int argc, char** argv) {
       } else {
         usage("nothing to run: give --entry or --call (or --dump)");
       }
-      if (stats) print_stats(session.last_cost(), eng);
+      if (stats) {
+        if (stats_json) {
+          std::ostringstream os;
+          proteus::write_run_json(os, session.last_cost(), eng);
+          run_reports.push_back(os.str());
+        } else {
+          proteus::print_stats_text(std::cerr, session.last_cost(), eng);
+        }
+      }
       return result;
     };
 
+    proteus::interp::Value final_result;
     if (engine == "both" || engine == "all") {
       proteus::interp::Value ref = run("ref");
       proteus::interp::Value vec = run("vec");
@@ -227,17 +247,46 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      std::cout << vec << '\n';
       if (!agree) {
         std::cerr << "proteusc: ENGINE MISMATCH\n  ref: " << ref
                   << "\n  vec: " << vec << '\n';
         return 1;
       }
-      std::cerr << (engine == "all" ? "[all] engines agree\n"
-                                    : "[both] engines agree\n");
+      if (!stats_json) {
+        std::cout << vec << '\n';
+        std::cerr << (engine == "all" ? "[all] engines agree\n"
+                                      : "[both] engines agree\n");
+      }
+      final_result = vec;
     } else {
-      std::cout << run(engine) << '\n';
+      final_result = run(engine);
+      if (!stats_json) std::cout << final_result << '\n';
     }
+
+    if (stats_json) {
+      // One machine-readable document on stdout: result, per-run
+      // metrics, and compile-time rule-firing counts.
+      std::ostringstream result_text;
+      result_text << final_result;
+      std::cout << "{\"program\":\"" << proteus::obs::json_escape(file)
+                << "\",\"engine\":\"" << proteus::obs::json_escape(engine)
+                << "\",\"backend\":\""
+                << (proteus::vl::backend() == proteus::vl::Backend::kOpenMP
+                        ? "openmp"
+                        : "serial")
+                << "\",\"result\":\""
+                << proteus::obs::json_escape(result_text.str())
+                << "\",\"runs\":[";
+      for (std::size_t i = 0; i < run_reports.size(); ++i) {
+        if (i > 0) std::cout << ',';
+        std::cout << run_reports[i];
+      }
+      std::cout << "],\"compile\":{\"rule_counts\":";
+      write_rule_counts_json(std::cout, session.compiled().rule_counts);
+      std::cout << "}}\n";
+    }
+
+    write_trace();
     return 0;
   } catch (const proteus::Error& e) {
     std::cerr << "proteusc: " << e.what() << '\n';
