@@ -1,0 +1,155 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/tracer.hpp"
+
+namespace proteus::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string to_line(const Diagnostic& d) {
+  std::string out = severity_name(d.severity);
+  out += "[";
+  out += d.code;
+  out += "] ";
+  if (!d.function.empty()) {
+    if (d.function.front() != '<') out += "fun ";
+    out += d.function;
+    out += " ";
+  }
+  if (d.loc.line > 0) {
+    out += "@" + std::to_string(d.loc.line) + ":" +
+           std::to_string(d.loc.column) + " ";
+  }
+  out += ": ";
+  out += d.message;
+  if (!d.rule.empty()) out += " (rule " + d.rule + ")";
+  return out;
+}
+
+void Report::add(Diagnostic d) {
+  for (const Diagnostic& seen : diagnostics_) {
+    if (seen.severity == d.severity && seen.code == d.code &&
+        seen.message == d.message && seen.function == d.function &&
+        seen.loc.line == d.loc.line && seen.loc.column == d.loc.column) {
+      return;
+    }
+  }
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("analysis", d.code, to_line(d));
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void Report::append(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+void Report::error(std::string code, std::string message,
+                   std::string function, lang::SourceLoc loc,
+                   std::string rule) {
+  add(Diagnostic{Severity::kError, std::move(code), std::move(message),
+                 std::move(function), loc, std::move(rule)});
+}
+
+void Report::warning(std::string code, std::string message,
+                     std::string function, lang::SourceLoc loc,
+                     std::string rule) {
+  add(Diagnostic{Severity::kWarning, std::move(code), std::move(message),
+                 std::move(function), loc, std::move(rule)});
+}
+
+std::size_t Report::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t Report::warning_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kWarning;
+                    }));
+}
+
+bool Report::has(std::string_view code) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [&](const Diagnostic& d) { return d.code == code; });
+}
+
+void Report::merge(const Report& other) {
+  // No re-publishing: the source report already emitted its findings as
+  // instant events when they were added.
+  for (const Diagnostic& d : other.diagnostics_) append(d);
+}
+
+std::string Report::to_text() const {
+  std::string out;
+  for (Severity want : {Severity::kError, Severity::kWarning,
+                        Severity::kNote}) {
+    for (const Diagnostic& d : diagnostics_) {
+      if (d.severity == want) {
+        out += to_line(d);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+void Report::write_json(std::ostream& os) const {
+  os << "{\"verdict\":\"" << (ok() ? "ok" : "reject") << "\",\"errors\":"
+     << error_count() << ",\"warnings\":" << warning_count()
+     << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"code\":\""
+       << obs::json_escape(d.code) << "\",\"function\":\""
+       << obs::json_escape(d.function) << "\",\"line\":" << d.loc.line
+       << ",\"column\":" << d.loc.column << ",\"message\":\""
+       << obs::json_escape(d.message) << "\",\"rule\":\""
+       << obs::json_escape(d.rule) << "\"}";
+  }
+  os << "]}";
+}
+
+namespace {
+
+std::string summarize(const Report& report) {
+  std::ostringstream os;
+  os << "static analysis found " << report.error_count() << " error"
+     << (report.error_count() == 1 ? "" : "s");
+  if (report.warning_count() > 0) {
+    os << " and " << report.warning_count() << " warning"
+       << (report.warning_count() == 1 ? "" : "s");
+  }
+  os << ":\n" << report.to_text();
+  std::string text = os.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+}  // namespace
+
+AnalysisError::AnalysisError(Report report)
+    : TransformError(summarize(report)),
+      report_(std::make_shared<const Report>(std::move(report))) {}
+
+}  // namespace proteus::analysis

@@ -1,0 +1,112 @@
+// diagnostic.hpp — the structured diagnostic engine shared by every static
+// analysis pass of proteus-vec: the shape/depth abstract interpreter over
+// the post-T1 V-IR (analysis/shape.hpp), the structural V-form checks
+// folded in from the old xform verifier, and the VCODE bytecode verifier
+// (vm/verify.hpp).
+//
+// A pass emits Diagnostics into a Report instead of throwing on the first
+// violation: each diagnostic carries a severity, a stable machine-readable
+// code (V0xx structural, V1xx shape/depth, V2xx warnings, B2xx bytecode),
+// the enclosing function, a source span when one survived the
+// transformation, and the paper rule the violated invariant comes from
+// (e.g. "R2d", "Fig.2"). Reports render as one-line-per-diagnostic text or
+// as a machine-readable JSON document (`proteusc --analyze=json`; schema
+// in docs/ANALYSIS.md), and every added diagnostic is also published as an
+// "analysis" instant event on the installed obs tracer so findings appear
+// in `--trace-json` Chrome traces.
+//
+// Callers that need the old throw-on-failure contract wrap a failed Report
+// in AnalysisError (a TransformError, so existing catch sites keep
+// working) — proteusc turns that into a clean one-line-per-diagnostic
+// report and exit code 3 instead of an uncaught-exception abort.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "vl/check.hpp"
+
+namespace proteus::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+/// Printable severity ("note" / "warning" / "error").
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// One analysis finding.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      ///< stable machine code, e.g. "V103", "B210"
+  std::string message;   ///< human-readable statement of the violation
+  std::string function;  ///< enclosing function ("<expression>", "<module>")
+  lang::SourceLoc loc;   ///< best-effort source span ({0,0} when unknown)
+  std::string rule;      ///< paper anchor ("R2d", "Fig.2", "T1", "VCODE")
+};
+
+/// Canonical one-line rendering:
+///   error[V103] fun quicksort^1 @3:7: <message> (rule Fig.2)
+[[nodiscard]] std::string to_line(const Diagnostic& d);
+
+/// An ordered collection of diagnostics from one or more analysis passes.
+/// Exact duplicates are dropped so fixpoint-style passes stay readable.
+class Report {
+ public:
+  /// Appends `d` (deduplicated) and publishes it as an "analysis" instant
+  /// event on the installed obs tracer, if any.
+  void add(Diagnostic d);
+
+  void error(std::string code, std::string message, std::string function,
+             lang::SourceLoc loc = {}, std::string rule = {});
+  void warning(std::string code, std::string message, std::string function,
+               lang::SourceLoc loc = {}, std::string rule = {});
+
+  /// True when the report contains no errors (warnings/notes allowed).
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t size() const { return diagnostics_.size(); }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// True when the report contains a diagnostic with this code.
+  [[nodiscard]] bool has(std::string_view code) const;
+
+  /// Appends every diagnostic of `other` (without re-publishing events).
+  void merge(const Report& other);
+
+  /// One line per diagnostic (to_line), errors first.
+  [[nodiscard]] std::string to_text() const;
+
+  /// The machine-readable document of docs/ANALYSIS.md:
+  ///   {"verdict":"ok"|"reject","errors":N,"warnings":N,
+  ///    "diagnostics":[{...}, ...]}
+  void write_json(std::ostream& os) const;
+
+ private:
+  /// Appends without dedup or event publishing (merge's workhorse).
+  void append(Diagnostic d);
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown when an analysis pass that must gate execution (the pipeline's
+/// analyze stage, VM load-time verification) finds errors. Derives from
+/// TransformError so pre-existing catch sites treat it as a compile
+/// failure; what() embeds the full one-line-per-diagnostic report.
+class AnalysisError : public TransformError {
+ public:
+  explicit AnalysisError(Report report);
+
+  [[nodiscard]] const Report& report() const { return *report_; }
+
+ private:
+  std::shared_ptr<const Report> report_;  // shared: exceptions must copy cheaply
+};
+
+}  // namespace proteus::analysis

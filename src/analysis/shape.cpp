@@ -1,0 +1,719 @@
+#include "analysis/shape.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/types.hpp"
+
+namespace proteus::analysis {
+
+using namespace lang;
+
+namespace {
+
+/// Union-find over symbolic segment-descriptor variables. A root may be
+/// bound to a concrete top-level length; unifying two roots with distinct
+/// concrete lengths is the only failure (the lattice's bottom).
+class ShapeCtx {
+ public:
+  int fresh() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    len_.push_back(-1);
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+  int fresh_len(long long n) {
+    int v = fresh();
+    len_[static_cast<std::size_t>(v)] = n < 0 ? 0 : n;
+    return v;
+  }
+
+  int find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+
+  /// Merges the classes of `a` and `b`. Returns false when both carry
+  /// distinct concrete lengths (a provable shape conflict).
+  bool unify(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return true;
+    const long long la = len_[static_cast<std::size_t>(a)];
+    const long long lb = len_[static_cast<std::size_t>(b)];
+    if (la >= 0 && lb >= 0 && la != lb) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    if (lb < 0) len_[static_cast<std::size_t>(b)] = la;
+    return true;
+  }
+
+  /// Concrete length of `a`'s class, or -1 when unknown.
+  [[nodiscard]] long long length(int a) {
+    return len_[static_cast<std::size_t>(find(a))];
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<long long> len_;
+};
+
+/// Abstract value: one descriptor variable per Seq nesting level,
+/// outermost first (empty for scalars, tuples, and function values).
+struct Shape {
+  std::vector<int> dims;
+};
+
+bool is_int_literal(const ExprPtr& e, vl::Int* out = nullptr) {
+  const auto* lit = as<IntLit>(e);
+  if (lit == nullptr) return false;
+  if (out != nullptr) *out = lit->value;
+  return true;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, Report& report)
+      : program_(program), report_(report) {
+    for (const FunDef& f : program.functions) {
+      collect_calls(f.body, callees_[f.name]);
+    }
+  }
+
+  void function(const FunDef& f) {
+    fn_ = f.name;
+    fn_def_ = &f;
+    guarded_ = false;
+    env_.clear();
+    for (const Param& p : f.params) {
+      env_.emplace_back(p.name, from_type(p.type));
+    }
+    eval(f.body);
+  }
+
+  void expression(const ExprPtr& e,
+                  const std::vector<std::string>& in_scope) {
+    fn_ = "<expression>";
+    fn_def_ = nullptr;
+    guarded_ = false;
+    env_.clear();
+    for (const std::string& name : in_scope) {
+      env_.emplace_back(name, std::nullopt);  // shape derived at use site
+    }
+    eval(e);
+  }
+
+ private:
+  // --- diagnostics -----------------------------------------------------------
+
+  void err(const char* code, std::string msg, const ExprPtr& at,
+           const char* rule = "") {
+    report_.error(code, std::move(msg), fn_,
+                  at != nullptr ? at->loc : SourceLoc{}, rule);
+  }
+
+  void warn(const char* code, std::string msg, const ExprPtr& at,
+            const char* rule = "") {
+    report_.warning(code, std::move(msg), fn_,
+                    at != nullptr ? at->loc : SourceLoc{}, rule);
+  }
+
+  // --- shape helpers ---------------------------------------------------------
+
+  Shape from_type(const TypePtr& t) {
+    Shape s;
+    if (t == nullptr) return s;
+    const int d = seq_depth(t);
+    s.dims.reserve(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) s.dims.push_back(ctx_.fresh());
+    return s;
+  }
+
+  std::string len_text(int var) {
+    const long long n = ctx_.length(var);
+    return n < 0 ? std::string("?") : std::to_string(n);
+  }
+
+  /// Unifies two top-level descriptors; a concrete conflict is the
+  /// Figure 1 invariant provably violated.
+  void unify_tops(int a, int b, const ExprPtr& at, const char* what) {
+    const std::string la = len_text(a);
+    const std::string lb = len_text(b);
+    if (!ctx_.unify(a, b)) {
+      err("V102",
+          std::string(what) + " requires conformable segment shapes, but "
+              "the descriptors have lengths " + la + " and " + lb,
+          at, "Fig.1");
+    }
+  }
+
+  // --- call graph (for the R2d guard check) ----------------------------------
+
+  void collect_calls(const ExprPtr& e, std::set<std::string>& out) {
+    if (e == nullptr) return;
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, FunCall>) {
+            out.insert(node.name);
+            for (const ExprPtr& a : node.args) collect_calls(a, out);
+          } else if constexpr (std::is_same_v<T, Let>) {
+            collect_calls(node.init, out);
+            collect_calls(node.body, out);
+          } else if constexpr (std::is_same_v<T, If>) {
+            collect_calls(node.cond, out);
+            collect_calls(node.then_expr, out);
+            collect_calls(node.else_expr, out);
+          } else if constexpr (std::is_same_v<T, PrimCall>) {
+            for (const ExprPtr& a : node.args) collect_calls(a, out);
+          } else if constexpr (std::is_same_v<T, TupleExpr> ||
+                               std::is_same_v<T, SeqExpr>) {
+            for (const ExprPtr& a : node.elems) collect_calls(a, out);
+          } else if constexpr (std::is_same_v<T, IndirectCall>) {
+            collect_calls(node.fn, out);
+            for (const ExprPtr& a : node.args) collect_calls(a, out);
+          } else if constexpr (std::is_same_v<T, TupleGet>) {
+            collect_calls(node.tuple, out);
+          } else if constexpr (std::is_same_v<T, Iterator>) {
+            collect_calls(node.domain, out);
+            collect_calls(node.filter, out);
+            collect_calls(node.body, out);
+          } else if constexpr (std::is_same_v<T, Call>) {
+            collect_calls(node.callee, out);
+            for (const ExprPtr& a : node.args) collect_calls(a, out);
+          } else if constexpr (std::is_same_v<T, LambdaExpr>) {
+            collect_calls(node.body, out);
+          }
+        },
+        e->node);
+  }
+
+  /// True when `from` can (transitively) call `to`.
+  bool reaches(const std::string& from, const std::string& to) {
+    const std::string key = from + "\x1f" + to;
+    auto memo = reach_memo_.find(key);
+    if (memo != reach_memo_.end()) return memo->second;
+    std::set<std::string> seen;
+    std::vector<std::string> stack{from};
+    bool found = false;
+    while (!stack.empty() && !found) {
+      std::string cur = std::move(stack.back());
+      stack.pop_back();
+      if (!seen.insert(cur).second) continue;
+      auto it = callees_.find(cur);
+      if (it == callees_.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) {
+          found = true;
+          break;
+        }
+        stack.push_back(next);
+      }
+    }
+    reach_memo_[key] = found;
+    return found;
+  }
+
+  // --- evaluation ------------------------------------------------------------
+
+  Shape eval(const ExprPtr& e) {
+    if (e == nullptr) {
+      err("V001", "null expression", e, "T1");
+      return {};
+    }
+    if (e->type == nullptr) {
+      err("V001", "expression lacks a type annotation", e, "T1");
+    }
+    return std::visit([&](const auto& node) { return eval_node(node, e); },
+                      e->node);
+  }
+
+  Shape eval_node(const IntLit&, const ExprPtr&) { return {}; }
+  Shape eval_node(const RealLit&, const ExprPtr&) { return {}; }
+  Shape eval_node(const BoolLit&, const ExprPtr&) { return {}; }
+
+  Shape eval_node(const VarRef& n, const ExprPtr& e) {
+    if (n.is_function) {
+      if (!program_.contains(n.name)) {
+        err("V003", "function value '" + n.name + "' is not defined", e);
+      }
+      return {};
+    }
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == n.name) {
+        if (it->second.has_value()) return *it->second;
+        return from_type(e->type);  // caller-provided free variable
+      }
+    }
+    err("V002", "variable '" + n.name + "' is not in scope", e);
+    return from_type(e->type);
+  }
+
+  Shape eval_node(const Let& n, const ExprPtr&) {
+    Shape init = eval(n.init);
+    env_.emplace_back(n.var, std::move(init));
+    Shape body = eval(n.body);
+    env_.pop_back();
+    return body;
+  }
+
+  Shape eval_node(const If& n, const ExprPtr& e) {
+    eval(n.cond);
+    if (n.cond != nullptr && n.cond->type != nullptr &&
+        n.cond->type->kind() != TypeKind::kBool) {
+      err("V004", "V conditional has a non-bool (non-scalar) condition",
+          n.cond);
+    }
+    const auto* guard = as<PrimCall>(n.cond);
+    const bool is_guard = guard != nullptr && guard->op == Prim::kAnyTrue;
+    const bool saved = guarded_;
+    guarded_ = saved || is_guard;
+    eval(n.then_expr);
+    guarded_ = saved;
+    eval(n.else_expr);
+    // Join: branch shapes are data-dependent; the lattice's top.
+    return from_type(e->type);
+  }
+
+  Shape eval_node(const Iterator&, const ExprPtr& e) {
+    err("V005", "iterator survived the transformation", e, "R2");
+    return from_type(e->type);
+  }
+  Shape eval_node(const Call&, const ExprPtr& e) {
+    err("V005", "unresolved Call node", e, "T1");
+    return from_type(e->type);
+  }
+  Shape eval_node(const LambdaExpr&, const ExprPtr& e) {
+    err("V005", "unlifted lambda", e, "R1");
+    return from_type(e->type);
+  }
+
+  /// Shared depth/lift checks of every call-like node. Returns the list
+  /// of frame argument indices (empty when depth is 0 or malformed).
+  std::vector<std::size_t> check_call_shape(
+      std::size_t n_args, int depth,
+      const std::vector<std::uint8_t>& lifted, const char* what,
+      const ExprPtr& e) {
+    if (depth < 0 || depth > 1) {
+      err("V006",
+          std::string(what) + " has extension depth " +
+              std::to_string(depth) + " (> 1: T1 was not applied?)",
+          e, "T1");
+      return {};
+    }
+    if (!lifted.empty() && lifted.size() != n_args) {
+      err("V007",
+          std::string(what) + " has " + std::to_string(lifted.size()) +
+              " lift flags for " + std::to_string(n_args) + " arguments",
+          e, "§4.5");
+      return {};
+    }
+    if (depth == 0) return {};
+    std::vector<std::size_t> frames;
+    for (std::size_t i = 0; i < n_args; ++i) {
+      if (lifted.empty() || lifted[i] != 0) frames.push_back(i);
+    }
+    if (frames.empty() && n_args > 0) {
+      err("V008",
+          std::string(what) +
+              " at depth 1 broadcasts every argument (should have been "
+              "hoisted to depth 0)",
+          e, "§4.5");
+    }
+    return frames;
+  }
+
+  /// Unifies the top-level descriptors of depth-1 frame operands and
+  /// returns the shared descriptor variable (or -1).
+  int conform_frames(const std::vector<Shape>& args,
+                     const std::vector<std::size_t>& frames,
+                     const char* what, const ExprPtr& e) {
+    int top = -1;
+    for (std::size_t i : frames) {
+      const Shape& s = args[i];
+      if (s.dims.empty()) {
+        err("V101",
+            "argument " + std::to_string(i + 1) + " of " + what +
+                " is used as a depth-1 frame but has a depth-0 type",
+            e, "T1");
+        continue;
+      }
+      if (top < 0) {
+        top = s.dims[0];
+      } else {
+        unify_tops(top, s.dims[0], e, what);
+      }
+    }
+    return top;
+  }
+
+  Shape eval_node(const PrimCall& n, const ExprPtr& e) {
+    std::vector<Shape> args;
+    args.reserve(n.args.size());
+    for (const ExprPtr& a : n.args) args.push_back(eval(a));
+    const char* what = prim_name(n.op);
+
+    if (n.op == Prim::kEmptyFrame) {
+      if (n.depth < 1) {
+        err("V009", "empty_frame lacks its frame-depth marker", e, "R2d");
+      }
+      if (n.args.size() != 1) {
+        err("V009", "empty_frame takes exactly the mask", e, "R2d");
+      }
+      return from_type(e->type);
+    }
+    if (n.op == Prim::kAnyTrue) {
+      if (n.depth != 0) {
+        err("V006", "any_true is a whole-frame (depth-0) primitive", e,
+            "R2d");
+      }
+      if (n.args.size() != 1) {
+        err("V011", "any_true takes exactly the mask frame", e, "R2d");
+      }
+      return {};
+    }
+    if (n.op == Prim::kExtract) return eval_extract(n, args, e);
+    if (n.op == Prim::kInsert) return eval_insert(n, args, e);
+
+    if (static_cast<int>(n.args.size()) != prim_arity(n.op)) {
+      err("V011",
+          std::string(what) + " takes " +
+              std::to_string(prim_arity(n.op)) + " arguments, got " +
+              std::to_string(n.args.size()),
+          e);
+      return from_type(e->type);
+    }
+    std::vector<std::size_t> frames =
+        check_call_shape(n.args.size(), n.depth, n.lifted, what, e);
+
+    if (n.depth == 1) {
+      const int top = conform_frames(args, frames, what, e);
+      Shape result = from_type(e->type);
+      if (top >= 0 && !result.dims.empty()) {
+        ctx_.unify(result.dims[0], top);
+      } else if (top >= 0 && result.dims.empty()) {
+        err("V101",
+            std::string(what) +
+                "^1 produces a frame but the node's static type is depth-0",
+            e, "T1");
+      }
+      return result;
+    }
+    return eval_prim0(n, args, e);
+  }
+
+  /// Depth-0 shape transfer of the sequence primitives of Table 2 /
+  /// Section 4.5.
+  Shape eval_prim0(const PrimCall& n, const std::vector<Shape>& args,
+                   const ExprPtr& e) {
+    Shape result = from_type(e->type);
+    switch (n.op) {
+      case Prim::kRestrict:
+      case Prim::kZip:
+        // Elementwise pairings: both operands share one descriptor.
+        if (!args[0].dims.empty() && !args[1].dims.empty()) {
+          unify_tops(args[0].dims[0], args[1].dims[0], e,
+                     prim_name(n.op));
+        }
+        if (n.op == Prim::kZip && !result.dims.empty() &&
+            !args[0].dims.empty()) {
+          ctx_.unify(result.dims[0], args[0].dims[0]);
+        }
+        break;
+      case Prim::kCombine:
+        // The result interleaves v/u across the mask: #result == #mask.
+        if (!result.dims.empty() && !args[0].dims.empty()) {
+          ctx_.unify(result.dims[0], args[0].dims[0]);
+        }
+        break;
+      case Prim::kSeqUpdate:
+      case Prim::kReverse:
+        // Length-preserving at the top level.
+        if (!result.dims.empty() && !args[0].dims.empty()) {
+          ctx_.unify(result.dims[0], args[0].dims[0]);
+        }
+        break;
+      case Prim::kRange1: {
+        vl::Int bound = 0;
+        if (!result.dims.empty() && is_int_literal(n.args[0], &bound)) {
+          ctx_.unify(result.dims[0],
+                     ctx_.fresh_len(bound < 0 ? 0 : bound));
+        }
+        break;
+      }
+      case Prim::kRange: {
+        vl::Int lo = 0;
+        vl::Int hi = 0;
+        if (!result.dims.empty() && is_int_literal(n.args[0], &lo) &&
+            is_int_literal(n.args[1], &hi)) {
+          ctx_.unify(result.dims[0],
+                     ctx_.fresh_len(hi < lo ? 0 : hi - lo + 1));
+        }
+        break;
+      }
+      case Prim::kDist: {
+        vl::Int count = 0;
+        if (!result.dims.empty() && is_int_literal(n.args[1], &count)) {
+          ctx_.unify(result.dims[0],
+                     ctx_.fresh_len(count < 0 ? 0 : count));
+        }
+        break;
+      }
+      case Prim::kFlatten:
+        if (args[0].dims.size() < 2) {
+          err("V101",
+              "flatten needs a doubly-nested operand (depth >= 2), got "
+              "depth " + std::to_string(args[0].dims.size()),
+              e, "Fig.1");
+        } else if (!result.dims.empty()) {
+          // Levels below the merged pair are untouched.
+          for (std::size_t i = 1; i < result.dims.size() &&
+                                  i + 1 < args[0].dims.size();
+               ++i) {
+            ctx_.unify(result.dims[i], args[0].dims[i + 1]);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    return result;
+  }
+
+  Shape eval_extract(const PrimCall& n, const std::vector<Shape>& args,
+                     const ExprPtr& e) {
+    vl::Int d = 0;
+    if (n.args.size() != 2 || !is_int_literal(n.args[1], &d) || d < 0) {
+      err("V010", "extract needs a literal depth argument", e, "Fig.2");
+      return from_type(e->type);
+    }
+    if (d == 0) {
+      warn("V201", "extract at depth 0 is the identity (no-op surgery)", e,
+           "Fig.2");
+    }
+    const Shape& v = args[0];
+    if (v.dims.size() < static_cast<std::size_t>(d) + 1) {
+      err("V101",
+          "extract strips " + std::to_string(d) +
+              " descriptor levels from a value of nesting depth " +
+              std::to_string(v.dims.size()),
+          e, "Fig.2");
+      return from_type(e->type);
+    }
+    Shape result;
+    result.dims.assign(v.dims.begin() + static_cast<std::ptrdiff_t>(d),
+                       v.dims.end());
+    if (e->type != nullptr &&
+        static_cast<std::size_t>(seq_depth(e->type)) !=
+            result.dims.size()) {
+      err("V102",
+          "extract result has inferred depth " +
+              std::to_string(result.dims.size()) +
+              " but its static type says " +
+              std::to_string(seq_depth(e->type)),
+          e, "Fig.2");
+      return from_type(e->type);
+    }
+    return result;
+  }
+
+  Shape eval_insert(const PrimCall& n, const std::vector<Shape>& args,
+                    const ExprPtr& e) {
+    vl::Int d = 0;
+    if (n.args.size() != 3 || !is_int_literal(n.args[2], &d) || d < 0) {
+      err("V010", "insert needs a literal depth argument", e, "Fig.2");
+      return from_type(e->type);
+    }
+    if (d == 0) {
+      warn("V201", "insert at depth 0 is the identity (no-op surgery)", e,
+           "Fig.2");
+    }
+    const Shape& inner = args[0];
+    const Shape& frame = args[1];
+    if (frame.dims.size() < static_cast<std::size_t>(d) + 1) {
+      err("V101",
+          "insert re-attaches " + std::to_string(d) +
+              " descriptor levels from a frame of nesting depth " +
+              std::to_string(frame.dims.size()),
+          e, "Fig.2");
+      return from_type(e->type);
+    }
+    if (inner.dims.empty()) {
+      err("V101", "insert of a depth-0 value (nothing to re-frame)", e,
+          "Fig.2");
+      return from_type(e->type);
+    }
+    // Figure 1: the inserted value's top descriptor must be the frame's
+    // level-d descriptor (#V_{d+1} == sum(V_d) after re-attachment).
+    if (!ctx_.unify(inner.dims[0],
+                    frame.dims[static_cast<std::size_t>(d)])) {
+      err("V103",
+          "insert re-attaches onto a frame level of length " +
+              len_text(frame.dims[static_cast<std::size_t>(d)]) +
+              " but the inserted value has top-level length " +
+              len_text(inner.dims[0]),
+          e, "Fig.2");
+    }
+    const std::size_t expected =
+        static_cast<std::size_t>(d) + inner.dims.size();
+    if (e->type != nullptr &&
+        static_cast<std::size_t>(seq_depth(e->type)) != expected) {
+      err("V103",
+          "unbalanced extract/insert: re-attaching " + std::to_string(d) +
+              " levels onto a depth-" + std::to_string(inner.dims.size()) +
+              " value yields depth " + std::to_string(expected) +
+              ", but the static type says " +
+              std::to_string(seq_depth(e->type)),
+          e, "Fig.2");
+      return from_type(e->type);
+    }
+    Shape result;
+    result.dims.assign(frame.dims.begin(),
+                       frame.dims.begin() + static_cast<std::ptrdiff_t>(d));
+    result.dims.insert(result.dims.end(), inner.dims.begin(),
+                       inner.dims.end());
+    return result;
+  }
+
+  Shape eval_node(const FunCall& n, const ExprPtr& e) {
+    std::vector<Shape> args;
+    args.reserve(n.args.size());
+    for (const ExprPtr& a : n.args) args.push_back(eval(a));
+    if (n.depth != 0) {
+      err("V006",
+          "user call '" + n.name + "' still has extension depth " +
+              std::to_string(n.depth) + " (T1 renames depth-1 calls)",
+          e, "T1");
+    }
+    const FunDef* target = program_.find(n.name);
+    if (target == nullptr) {
+      err("V003", "call target '" + n.name + "' is not defined", e);
+    } else if (target->params.size() != n.args.size()) {
+      err("V012",
+          "call of '" + n.name + "' passes " +
+              std::to_string(n.args.size()) + " arguments to " +
+              std::to_string(target->params.size()) + " parameters",
+          e);
+    }
+    // Rule R2d: a flattened recursive descent must sit under the
+    // any_true empty-frame guard or it cannot terminate.
+    if (fn_def_ != nullptr && fn_def_->extension_depth >= 1 && !guarded_ &&
+        (n.name == fn_def_->name || reaches(n.name, fn_def_->name))) {
+      err("V104",
+          "flattened recursive call to '" + n.name +
+              "' is not protected by an empty-frame guard",
+          e, "R2d");
+    }
+    return from_type(e->type);
+  }
+
+  Shape eval_node(const IndirectCall& n, const ExprPtr& e) {
+    eval(n.fn);
+    std::vector<Shape> args;
+    args.reserve(n.args.size());
+    for (const ExprPtr& a : n.args) args.push_back(eval(a));
+    if (n.fn != nullptr && n.fn->type != nullptr && !n.fn->type->is_fun()) {
+      err("V013", "indirect call through a non-function value", e);
+    }
+    std::vector<std::size_t> frames = check_call_shape(
+        n.args.size(), n.depth, n.lifted, "indirect call", e);
+    if (n.depth == 1) conform_frames(args, frames, "indirect call", e);
+    return from_type(e->type);
+  }
+
+  Shape eval_node(const TupleExpr& n, const ExprPtr& e) {
+    std::vector<Shape> args;
+    args.reserve(n.elems.size());
+    for (const ExprPtr& a : n.elems) args.push_back(eval(a));
+    std::vector<std::size_t> frames = check_call_shape(
+        n.elems.size(), n.depth, {}, "tuple_cons", e);
+    Shape result = from_type(e->type);
+    if (n.depth == 1) {
+      const int top = conform_frames(args, frames, "tuple_cons", e);
+      if (top >= 0 && !result.dims.empty()) {
+        ctx_.unify(result.dims[0], top);
+      }
+    }
+    return result;
+  }
+
+  Shape eval_node(const TupleGet& n, const ExprPtr& e) {
+    Shape tuple = eval(n.tuple);
+    if (n.depth < 0 || n.depth > 1) {
+      err("V006", "tuple_extract has extension depth > 1", e, "T1");
+    }
+    if (n.index < 1) {
+      err("V014", "tuple component index below 1", e);
+    }
+    Shape result = from_type(e->type);
+    if (n.depth == 1 && !tuple.dims.empty() && !result.dims.empty()) {
+      // Selecting one component array out of a tuple frame preserves the
+      // frame's descriptor.
+      ctx_.unify(result.dims[0], tuple.dims[0]);
+    }
+    return result;
+  }
+
+  Shape eval_node(const SeqExpr& n, const ExprPtr& e) {
+    std::vector<Shape> args;
+    args.reserve(n.elems.size());
+    for (const ExprPtr& a : n.elems) args.push_back(eval(a));
+    std::vector<std::size_t> frames =
+        check_call_shape(n.elems.size(), n.depth, {}, "seq_cons", e);
+    if (n.elems.empty() && n.elem_type == nullptr) {
+      err("V015", "empty sequence literal without an element type", e);
+    }
+    Shape result = from_type(e->type);
+    if (n.depth == 1) {
+      // seq_cons^1 builds one length-k sequence per slot from k
+      // conformable element frames.
+      const int top = conform_frames(args, frames, "seq_cons", e);
+      if (top >= 0 && !result.dims.empty()) {
+        ctx_.unify(result.dims[0], top);
+      }
+    } else if (!result.dims.empty()) {
+      ctx_.unify(result.dims[0],
+                 ctx_.fresh_len(static_cast<long long>(n.elems.size())));
+    }
+    return result;
+  }
+
+  const Program& program_;
+  Report& report_;
+  ShapeCtx ctx_;
+  std::vector<std::pair<std::string, std::optional<Shape>>> env_;
+  std::string fn_;
+  const FunDef* fn_def_ = nullptr;
+  bool guarded_ = false;
+  std::map<std::string, std::set<std::string>> callees_;
+  std::map<std::string, bool> reach_memo_;
+};
+
+}  // namespace
+
+Report analyze_program(const Program& program) {
+  Report report;
+  Analyzer analyzer(program, report);
+  for (const FunDef& f : program.functions) {
+    analyzer.function(f);
+  }
+  return report;
+}
+
+Report analyze_expression(const Program& program, const ExprPtr& expr,
+                          const std::vector<std::string>& in_scope) {
+  Report report;
+  Analyzer analyzer(program, report);
+  analyzer.expression(expr, in_scope);
+  return report;
+}
+
+}  // namespace proteus::analysis

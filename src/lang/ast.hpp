@@ -93,6 +93,12 @@ enum class Prim : std::uint8_t {
 /// a primitive.
 [[nodiscard]] bool lookup_prim(const std::string& name, Prim* out);
 
+/// Number of arguments a primitive takes (extract/insert counts include
+/// the trailing literal depth argument; empty_frame counts the mask).
+/// Shared by the type checker's resolution, the static shape analyzer,
+/// and the VCODE bytecode verifier so arity knowledge cannot drift.
+[[nodiscard]] int prim_arity(Prim p);
+
 // --- expression node payloads -----------------------------------------------
 
 struct IntLit {

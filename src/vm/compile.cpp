@@ -16,12 +16,9 @@ using lang::ExprPtr;
 using lang::FunDef;
 using lang::Prim;
 
-namespace {
-
-[[noreturn]] void fail(const std::string& msg) { throw TransformError(msg); }
-
 /// The vl primitive family an operation belongs to (profiling/disassembly
-/// metadata; dispatch reads `prim` + `depth`).
+/// metadata; dispatch reads `prim` + `depth`). Exposed so the bytecode
+/// verifier can check that each instruction's opcode matches its selector.
 Op family_of(Prim p, int depth) {
   switch (p) {
     case Prim::kExtract:
@@ -58,6 +55,10 @@ Op family_of(Prim p, int depth) {
       return depth == 0 ? Op::kScalar : Op::kElementwise;
   }
 }
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw TransformError(msg); }
 
 /// Shared interning pools of the module under construction.
 class Builder {

@@ -28,4 +28,9 @@ namespace proteus::vm {
 [[nodiscard]] std::shared_ptr<const Module> compile_module(
     const lang::Program& program, const lang::ExprPtr& entry = nullptr);
 
+/// The opcode family a (prim, depth) selector lowers to. Shared with the
+/// bytecode verifier, which rejects instructions whose opcode disagrees
+/// with their selector.
+[[nodiscard]] Op family_of(lang::Prim p, int depth);
+
 }  // namespace proteus::vm

@@ -1,0 +1,48 @@
+// verify.hpp — the VCODE bytecode verifier: a load-time linear pass over a
+// compiled vm::Module that proves the instruction stream is safe to
+// dispatch before the VM ever executes it.
+//
+// The dispatch loop in vm.cpp indexes registers, constant/type/name pools,
+// and jump targets without bounds checks — that is what makes it fast, and
+// it is sound only for modules the compiler produced. This verifier
+// re-establishes that soundness for modules from any source: it checks
+// opcode operand arity, register-file bounds, pool-index validity, jump
+// targets, call argument counts against callee signatures, and — via a
+// worklist dataflow over the instruction-level control-flow graph — that no
+// register is read before every path to the read has written it, and that
+// register kinds (scalar / sequence-of-depth-d / tuple / function) are
+// consistent with each use, including the descriptor-depth compatibility
+// of extract/insert surgery (Figure 2).
+//
+// Diagnostic codes (B2xx; full table in docs/ANALYSIS.md):
+//   B201 module table invalid (entry / fn_index out of range)
+//   B202 control flow falls off the end of a function
+//   B203 register operand outside the function's register file
+//   B204 operand list outside the function's argument pool
+//   B205 opcode operand arity / selector mismatch
+//   B206 pool index out of range (constants / types / names / lift sets)
+//   B207 jump target out of range
+//   B208 call argument count disagrees with the callee's parameters
+//   B209 lift-flag set size disagrees with the operand count
+//   B210 register possibly read before it is written
+//   B211 register kind incompatible with its use (depth surgery, guards)
+//   B212 depth field out of range for the opcode
+//
+// Verification is on by default at module load (vm::VMOptions::verify) and
+// after pipeline assembly (xform::PipelineOptions::verify_vcode); pass
+// `--no-verify-vcode` to proteusc to skip it.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "vm/bytecode.hpp"
+
+namespace proteus::vm {
+
+/// Verifies a compiled module; never throws — all findings land in the
+/// returned Report.
+[[nodiscard]] analysis::Report verify_module(const Module& m);
+
+/// Verifies and throws analysis::AnalysisError when the module is rejected.
+void verify_module_or_throw(const Module& m);
+
+}  // namespace proteus::vm

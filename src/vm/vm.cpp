@@ -6,6 +6,7 @@
 #include "obs/tracer.hpp"
 #include "vl/backend.hpp"
 #include "vl/check.hpp"
+#include "vm/verify.hpp"
 
 namespace proteus::vm {
 
@@ -28,6 +29,7 @@ const std::vector<std::uint8_t> kAllFrames;  // empty lifted set
 VM::VM(std::shared_ptr<const Module> module, VMOptions options)
     : module_(std::move(module)), options_(options) {
   PROTEUS_REQUIRE(EvalError, module_ != nullptr, "vm: null module");
+  if (options_.verify) verify_module_or_throw(*module_);
 }
 
 VValue VM::call_function(const std::string& name,

@@ -29,6 +29,10 @@ namespace proteus::vm {
 struct VMOptions {
   kernels::PrimOptions prims;  ///< shared-source gather etc. (as in exec)
   bool profile = false;        ///< per-opcode wall-clock timing
+  /// Run the bytecode verifier (vm/verify.hpp) at construction and throw
+  /// analysis::AnalysisError when the module is rejected. Callers holding
+  /// a module the pipeline already verified may pass false.
+  bool verify = true;
 };
 
 /// Accumulated cost of one opcode across a run.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/shape.hpp"
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
 #include "obs/tracer.hpp"
@@ -9,7 +10,7 @@
 #include "xform/optimize.hpp"
 #include "xform/translate.hpp"
 #include "vm/compile.hpp"
-#include "xform/verify.hpp"
+#include "vm/verify.hpp"
 
 namespace proteus::xform {
 
@@ -123,16 +124,31 @@ Compiled compile(std::string_view program_source,
   }
 
   if (options.verify_output) {
-    obs::Span span("compile", "verify");
-    verify_vector_program(out.vec);
+    obs::Span span("compile", "analyze");
+    out.analysis = analysis::analyze_program(out.vec);
     if (out.entry_vec != nullptr) {
-      verify_vector_expression(out.vec, out.entry_vec);
+      out.analysis.merge(analysis::analyze_expression(out.vec, out.entry_vec));
+    }
+    span.counter("diagnostics", out.analysis.size());
+    if (!out.analysis.ok()) {
+      throw analysis::AnalysisError(out.analysis);
     }
   }
 
   {
     obs::Span span("compile", "vm-assemble");
     out.module = vm::compile_module(out.vec, out.entry_vec);
+  }
+
+  if (options.verify_vcode) {
+    obs::Span span("compile", "verify-vcode");
+    analysis::Report vcode = vm::verify_module(*out.module);
+    span.counter("diagnostics", vcode.size());
+    const bool rejected = !vcode.ok();
+    out.analysis.merge(vcode);
+    if (rejected) {
+      throw analysis::AnalysisError(std::move(vcode));
+    }
   }
 
   if (options.collect_trace && trace != nullptr) {

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "lang/ast.hpp"
 #include "xform/flatten.hpp"
 
@@ -27,9 +28,14 @@ struct PipelineOptions {
   /// Section 4.5: rewrite replicated seq_index sources into shared-row
   /// gathers (removes the quadratic replication in flattened recursion).
   bool shared_row_gather = true;
-  /// Run the structural V-form verifier over the final program (cheap;
-  /// catches transformation bugs at compile time instead of run time).
+  /// Run the static shape/depth analyzer (src/analysis) over the final V
+  /// program (cheap; catches transformation bugs at compile time instead
+  /// of run time). The report is retained in Compiled::analysis; errors
+  /// throw analysis::AnalysisError.
   bool verify_output = true;
+  /// Run the VCODE bytecode verifier (src/vm/verify.hpp) over the
+  /// assembled module (proteusc --no-verify-vcode turns this off).
+  bool verify_vcode = true;
   /// Collect a KIDS-style derivation trace (one line per rule firing)
   /// into Compiled::derivation. Implemented over the obs span/event
   /// model: each firing is a "rule" instant event; with no tracer
@@ -54,6 +60,11 @@ struct Compiled {
   /// The V program (and entry) assembled into linear bytecode — the
   /// module the vm engine executes (see src/vm/bytecode.hpp).
   std::shared_ptr<const vm::Module> module;
+
+  /// Findings of the static shape/depth analyzer and the bytecode
+  /// verifier (populated when the respective options are on; an error-free
+  /// report may still carry warnings).
+  analysis::Report analysis;
 
   /// Rule-by-rule derivation log (only when options.collect_trace).
   std::vector<std::string> derivation;

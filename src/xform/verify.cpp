@@ -1,195 +1,22 @@
 #include "xform/verify.hpp"
 
-#include <set>
-#include <string>
+#include <utility>
 
-#include "vl/check.hpp"
+#include "analysis/shape.hpp"
 
 namespace proteus::xform {
 
-using namespace lang;
-
-namespace {
-
-class Verifier {
- public:
-  explicit Verifier(const Program& program) : program_(program) {}
-
-  void function(const FunDef& f) {
-    path_ = "fun " + f.name;
-    std::set<std::string> scope;
-    for (const Param& p : f.params) scope.insert(p.name);
-    check(f.body, scope);
-  }
-
-  void expression(const ExprPtr& e, const std::vector<std::string>& vars) {
-    path_ = "<expression>";
-    std::set<std::string> scope(vars.begin(), vars.end());
-    check(e, scope);
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw TransformError("V-form verification failed in " + path_ + ": " +
-                         msg);
-  }
-
-  void require(bool cond, const std::string& msg) const {
-    if (!cond) fail(msg);
-  }
-
-  void check_call_shape(std::size_t args, int depth,
-                        const std::vector<std::uint8_t>& lifted,
-                        const char* what) {
-    require(depth >= 0 && depth <= 1,
-            std::string(what) + " has extension depth " +
-                std::to_string(depth) + " (> 1: T1 was not applied?)");
-    require(lifted.empty() || lifted.size() == args,
-            std::string(what) + " has " + std::to_string(lifted.size()) +
-                " lift flags for " + std::to_string(args) + " arguments");
-    if (depth == 1 && !lifted.empty()) {
-      bool any = false;
-      for (std::uint8_t f : lifted) any = any || f != 0;
-      require(any, std::string(what) +
-                       " at depth 1 broadcasts every argument (should have "
-                       "been hoisted to depth 0)");
-    }
-  }
-
-  static bool is_int_literal(const ExprPtr& e) {
-    return as<IntLit>(e) != nullptr;
-  }
-
-  void check(const ExprPtr& e, std::set<std::string>& scope) {
-    require(e != nullptr, "null expression");
-    require(e->type != nullptr, "expression lacks a type annotation");
-    std::visit([&](const auto& node) { check_node(node, e, scope); },
-               e->node);
-  }
-
-  void check_node(const IntLit&, const ExprPtr&, std::set<std::string>&) {}
-  void check_node(const RealLit&, const ExprPtr&, std::set<std::string>&) {}
-  void check_node(const BoolLit&, const ExprPtr&, std::set<std::string>&) {}
-
-  void check_node(const VarRef& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    if (n.is_function) {
-      require(program_.contains(n.name),
-              "function value '" + n.name + "' is not defined");
-      return;
-    }
-    require(scope.contains(n.name),
-            "variable '" + n.name + "' is not in scope");
-  }
-
-  void check_node(const Let& n, const ExprPtr&, std::set<std::string>& scope) {
-    check(n.init, scope);
-    const bool shadowed = scope.contains(n.var);
-    scope.insert(n.var);
-    check(n.body, scope);
-    if (!shadowed) scope.erase(n.var);
-  }
-
-  void check_node(const If& n, const ExprPtr&, std::set<std::string>& scope) {
-    check(n.cond, scope);
-    require(n.cond->type->kind() == TypeKind::kBool,
-            "V conditional has a non-bool (non-scalar) condition");
-    check(n.then_expr, scope);
-    check(n.else_expr, scope);
-  }
-
-  void check_node(const Iterator&, const ExprPtr&, std::set<std::string>&) {
-    fail("iterator survived the transformation");
-  }
-  void check_node(const Call&, const ExprPtr&, std::set<std::string>&) {
-    fail("unresolved Call node");
-  }
-  void check_node(const LambdaExpr&, const ExprPtr&, std::set<std::string>&) {
-    fail("unlifted lambda");
-  }
-
-  void check_node(const PrimCall& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    for (const ExprPtr& a : n.args) check(a, scope);
-    if (n.op == Prim::kEmptyFrame) {
-      require(n.depth >= 1, "empty_frame lacks its frame-depth marker");
-      require(n.args.size() == 1, "empty_frame takes exactly the mask");
-      return;
-    }
-    if (n.op == Prim::kAnyTrue) {
-      require(n.depth == 0, "any_true is a whole-frame (depth-0) primitive");
-      return;
-    }
-    if (n.op == Prim::kExtract) {
-      require(n.args.size() == 2 && is_int_literal(n.args[1]),
-              "extract needs a literal depth argument");
-      return;
-    }
-    if (n.op == Prim::kInsert) {
-      require(n.args.size() == 3 && is_int_literal(n.args[2]),
-              "insert needs a literal depth argument");
-      return;
-    }
-    check_call_shape(n.args.size(), n.depth, n.lifted,
-                     prim_name(n.op));
-  }
-
-  void check_node(const FunCall& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    for (const ExprPtr& a : n.args) check(a, scope);
-    require(n.depth == 0,
-            "user call '" + n.name + "' still has extension depth " +
-                std::to_string(n.depth) + " (T1 renames depth-1 calls)");
-    require(program_.contains(n.name),
-            "call target '" + n.name + "' is not defined");
-  }
-
-  void check_node(const IndirectCall& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    check(n.fn, scope);
-    for (const ExprPtr& a : n.args) check(a, scope);
-    check_call_shape(n.args.size(), n.depth, n.lifted, "indirect call");
-    require(n.fn->type != nullptr && n.fn->type->is_fun(),
-            "indirect call through a non-function value");
-  }
-
-  void check_node(const TupleExpr& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    for (const ExprPtr& a : n.elems) check(a, scope);
-    require(n.depth <= 1, "tuple_cons has extension depth > 1");
-  }
-
-  void check_node(const TupleGet& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    check(n.tuple, scope);
-    require(n.depth <= 1, "tuple_extract has extension depth > 1");
-    require(n.index >= 1, "tuple component index below 1");
-  }
-
-  void check_node(const SeqExpr& n, const ExprPtr&,
-                  std::set<std::string>& scope) {
-    for (const ExprPtr& a : n.elems) check(a, scope);
-    require(n.depth <= 1, "seq_cons has extension depth > 1");
-    require(!n.elems.empty() || n.elem_type != nullptr,
-            "empty sequence literal without an element type");
-  }
-
-  const Program& program_;
-  std::string path_;
-};
-
-}  // namespace
-
-void verify_vector_expression(const Program& program, const ExprPtr& expr,
+void verify_vector_expression(const lang::Program& program,
+                              const lang::ExprPtr& expr,
                               const std::vector<std::string>& in_scope) {
-  Verifier(program).expression(expr, in_scope);
+  analysis::Report report =
+      analysis::analyze_expression(program, expr, in_scope);
+  if (!report.ok()) throw analysis::AnalysisError(std::move(report));
 }
 
-void verify_vector_program(const Program& program) {
-  Verifier v(program);
-  for (const FunDef& f : program.functions) {
-    v.function(f);
-  }
+void verify_vector_program(const lang::Program& program) {
+  analysis::Report report = analysis::analyze_program(program);
+  if (!report.ok()) throw analysis::AnalysisError(std::move(report));
 }
 
 }  // namespace proteus::xform

@@ -1,23 +1,15 @@
-// verify.hpp — structural well-formedness checker for transformed (V-form)
-// programs.
+// verify.hpp — throw-on-failure facade over the static analyzer for
+// transformed (V-form) programs.
 //
-// A valid V program (Section 4's target notation, as produced by the full
-// pipeline) satisfies:
-//   * no Iterator, no unresolved Call, no LambdaExpr nodes;
-//   * every call-like node has extension depth <= 1 (post-T1), except the
-//     empty_frame depth marker and whole-frame any_true;
-//   * lifted flags have one entry per argument (or are empty), and calls
-//     at depth 1 have at least one lifted argument;
-//   * every FunCall target is defined in the program, and every function
-//     value that can reach a depth-1 IndirectCall has its ^1 extension;
-//   * every node carries a type annotation, and extract/insert/empty_frame
-//     carry literal depth arguments;
-//   * variables are in scope (no free variables escape their binders).
-//
-// The checker throws TransformError with a path to the offending node.
-// It runs in every pipeline test over every program in the repository,
-// turning "the transformation produced something odd" into a loud,
-// located failure instead of a downstream executor error.
+// The structural well-formedness checks that used to live here (no
+// surviving Iterator/Call/Lambda nodes, depth <= 1 post-T1, lift-flag
+// arity, defined call targets, type annotations, literal depth arguments,
+// variable scope) are now part of the shape/depth analyzer in
+// src/analysis/shape.hpp, which reports every violation as a structured
+// Diagnostic instead of throwing at the first one. These entry points keep
+// the old contract for callers that want a hard failure: they run the
+// analyzer and throw analysis::AnalysisError (a TransformError) carrying
+// the full report when it finds errors.
 #pragma once
 
 #include "lang/ast.hpp"
@@ -25,7 +17,7 @@
 namespace proteus::xform {
 
 /// Verifies one V expression in the scope of `program` with the given
-/// variables in scope. Throws TransformError on the first violation.
+/// variables in scope. Throws analysis::AnalysisError on violations.
 void verify_vector_expression(const lang::Program& program,
                               const lang::ExprPtr& expr,
                               const std::vector<std::string>& in_scope = {});

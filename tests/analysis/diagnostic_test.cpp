@@ -1,0 +1,125 @@
+// Unit tests for the structured diagnostic engine: rendering, ordering,
+// deduplication, JSON schema, obs event publication, and AnalysisError.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/diagnostic.hpp"
+#include "obs/tracer.hpp"
+
+namespace proteus::analysis {
+namespace {
+
+TEST(Diagnostic, LineRenderingCarriesCodeFunctionSpanAndRule) {
+  Diagnostic d{Severity::kError, "V103", "unbalanced extract/insert",
+               "quicksort^1", lang::SourceLoc{3, 7}, "Fig.2"};
+  EXPECT_EQ(to_line(d),
+            "error[V103] fun quicksort^1 @3:7 : unbalanced extract/insert "
+            "(rule Fig.2)");
+}
+
+TEST(Diagnostic, SyntheticFunctionNamesSkipTheFunPrefix) {
+  Diagnostic d{Severity::kWarning, "V201", "identity surgery",
+               "<expression>", lang::SourceLoc{}, ""};
+  EXPECT_EQ(to_line(d), "warning[V201] <expression> : identity surgery");
+}
+
+TEST(Report, CountsBySeverityAndOkIgnoresWarnings) {
+  Report r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.empty());
+  r.warning("V201", "w", "f");
+  EXPECT_TRUE(r.ok());
+  r.error("V001", "e", "f");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 1u);
+  EXPECT_TRUE(r.has("V201"));
+  EXPECT_TRUE(r.has("V001"));
+  EXPECT_FALSE(r.has("V999"));
+}
+
+TEST(Report, DeduplicatesIdenticalFindings) {
+  Report r;
+  r.error("V002", "variable 'x' is not in scope", "f", {1, 2});
+  r.error("V002", "variable 'x' is not in scope", "f", {1, 2});
+  r.error("V002", "variable 'x' is not in scope", "f", {9, 9});  // distinct
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Report, TextPutsErrorsBeforeWarnings) {
+  Report r;
+  r.warning("V201", "later", "f");
+  r.error("V001", "first", "f");
+  const std::string text = r.to_text();
+  EXPECT_LT(text.find("V001"), text.find("V201"));
+}
+
+TEST(Report, JsonDocumentMatchesSchema) {
+  Report r;
+  r.error("V103", "msg \"quoted\"", "qs^1", {3, 7}, "Fig.2");
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"verdict\":\"reject\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"V103\""), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"qs^1\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"column\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"Fig.2\""), std::string::npos);
+  EXPECT_NE(json.find("msg \\\"quoted\\\""), std::string::npos);
+
+  Report clean;
+  std::ostringstream os2;
+  clean.write_json(os2);
+  EXPECT_EQ(os2.str(),
+            "{\"verdict\":\"ok\",\"errors\":0,\"warnings\":0,"
+            "\"diagnostics\":[]}");
+}
+
+TEST(Report, MergeAppendsEverything) {
+  Report a;
+  a.error("V001", "e", "f");
+  Report b;
+  b.warning("B210", "w", "g");
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.has("B210"));
+}
+
+TEST(Report, AddedFindingsPublishAnalysisInstantEvents) {
+  obs::Tracer tracer;
+  obs::MaybeTracerScope scope(&tracer);
+  Report r;
+  r.error("V104", "unguarded recursion", "f^1", {}, "R2d");
+  bool seen = false;
+  for (const auto& e : tracer.events()) {
+    if (std::string_view(e.cat) == "analysis" &&
+        std::string_view(e.name) == "V104") {
+      seen = true;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(AnalysisError, CarriesReportAndRendersEveryLine) {
+  Report r;
+  r.error("V005", "iterator survived the transformation", "f", {}, "R2");
+  r.warning("V201", "identity surgery", "f");
+  AnalysisError err(r);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("1 error"), std::string::npos);
+  EXPECT_NE(what.find("1 warning"), std::string::npos);
+  EXPECT_NE(what.find("V005"), std::string::npos);
+  EXPECT_NE(what.find("V201"), std::string::npos);
+  EXPECT_EQ(err.report().size(), 2u);
+  // The old throw-on-failure contract: an AnalysisError is a
+  // TransformError is a proteus::Error.
+  EXPECT_THROW(throw AnalysisError(r), TransformError);
+  EXPECT_THROW(throw AnalysisError(r), Error);
+}
+
+}  // namespace
+}  // namespace proteus::analysis

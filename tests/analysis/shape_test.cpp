@@ -1,0 +1,266 @@
+// The shape/depth analyzer: a corpus of deliberately broken V-IR trees
+// asserting each diagnostic code fires, plus clean verdicts over every
+// pipeline output in the repository.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/shape.hpp"
+#include "core/proteus.hpp"
+
+namespace proteus::analysis {
+namespace {
+
+using namespace lang;
+
+ExprPtr lit(vl::Int v) { return make_expr(IntLit{v}, Type::int_()); }
+
+ExprPtr var(const char* name, TypePtr t) {
+  return make_expr(VarRef{name, false}, std::move(t));
+}
+
+Report check(const ExprPtr& e, const std::vector<std::string>& scope = {}) {
+  Program empty;
+  return analyze_expression(empty, e, scope);
+}
+
+// --- structural corpus (V0xx) ------------------------------------------------
+
+TEST(ShapeAnalysis, V001_MissingTypeAnnotation) {
+  EXPECT_TRUE(check(make_expr(IntLit{1})).has("V001"));
+}
+
+TEST(ShapeAnalysis, V002_OutOfScopeVariable) {
+  ExprPtr stray = var("ghost", Type::int_());
+  EXPECT_TRUE(check(stray).has("V002"));
+  EXPECT_TRUE(check(stray, {"ghost"}).ok());
+}
+
+TEST(ShapeAnalysis, V003_UnknownCallTarget) {
+  EXPECT_TRUE(
+      check(make_expr(FunCall{"nosuch", 0, {}, {}}, Type::int_()))
+          .has("V003"));
+  EXPECT_TRUE(
+      check(make_expr(VarRef{"nosuch", true},
+                      Type::fun({Type::int_()}, Type::int_())))
+          .has("V003"));
+}
+
+TEST(ShapeAnalysis, V004_NonBoolCondition) {
+  ExprPtr bad = make_expr(If{lit(1), lit(2), lit(3)}, Type::int_());
+  EXPECT_TRUE(check(bad).has("V004"));
+}
+
+TEST(ShapeAnalysis, V005_SurvivingSourceConstructs) {
+  Session s("fun f(n: int): seq(int) = [i <- [1 .. n] : i]");
+  // The *checked* (untransformed) program still has its iterator.
+  EXPECT_TRUE(analyze_program(s.compiled().checked).has("V005"));
+  // The transformed program does not.
+  EXPECT_TRUE(analyze_program(s.compiled().vec).ok());
+}
+
+TEST(ShapeAnalysis, V006_DepthAboveOne) {
+  ExprPtr v = var("v", Type::seq_n(Type::int_(), 2));
+  ExprPtr deep = make_expr(PrimCall{Prim::kMul, 2, {v, v}, {1, 1}},
+                           Type::seq_n(Type::int_(), 2));
+  EXPECT_TRUE(check(deep, {"v"}).has("V006"));
+}
+
+TEST(ShapeAnalysis, V006_AnyTrueMustBeWholeFrame) {
+  ExprPtr m = var("m", Type::seq(Type::bool_()));
+  ExprPtr bad = make_expr(PrimCall{Prim::kAnyTrue, 1, {m}, {}},
+                          Type::bool_());
+  EXPECT_TRUE(check(bad, {"m"}).has("V006"));
+}
+
+TEST(ShapeAnalysis, V007_LiftFlagArityMismatch) {
+  ExprPtr v = var("v", Type::seq(Type::int_()));
+  ExprPtr bad = make_expr(PrimCall{Prim::kAdd, 1, {v, v}, {1}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"v"}).has("V007"));
+}
+
+TEST(ShapeAnalysis, V008_AllBroadcastDepthOneCall) {
+  ExprPtr one = lit(1);
+  ExprPtr bad = make_expr(PrimCall{Prim::kAdd, 1, {one, one}, {0, 0}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad).has("V008"));
+}
+
+TEST(ShapeAnalysis, V009_EmptyFrameWithoutDepthMarker) {
+  ExprPtr m = var("m", Type::seq(Type::bool_()));
+  ExprPtr bad = make_expr(PrimCall{Prim::kEmptyFrame, 0, {m}, {}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"m"}).has("V009"));
+}
+
+TEST(ShapeAnalysis, V010_ExtractNeedsLiteralDepth) {
+  ExprPtr v = var("v", Type::seq_n(Type::int_(), 2));
+  ExprPtr d = var("d", Type::int_());
+  ExprPtr bad = make_expr(PrimCall{Prim::kExtract, 0, {v, d}, {}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"v", "d"}).has("V010"));
+}
+
+TEST(ShapeAnalysis, V011_PrimArityMismatch) {
+  ExprPtr bad =
+      make_expr(PrimCall{Prim::kAdd, 0, {lit(1)}, {}}, Type::int_());
+  EXPECT_TRUE(check(bad).has("V011"));
+}
+
+TEST(ShapeAnalysis, V012_UserCallArityMismatch) {
+  Program p;
+  p.functions.push_back(FunDef{"f",
+                               {Param{"a", Type::int_()}},
+                               Type::int_(),
+                               lit(1),
+                               {},
+                               "",
+                               0});
+  ExprPtr bad = make_expr(FunCall{"f", 0, {}, {}}, Type::int_());
+  EXPECT_TRUE(analyze_expression(p, bad).has("V012"));
+}
+
+TEST(ShapeAnalysis, V013_IndirectCallThroughNonFunction) {
+  ExprPtr bad = make_expr(IndirectCall{lit(7), 0, {}, {}}, Type::int_());
+  EXPECT_TRUE(check(bad).has("V013"));
+}
+
+TEST(ShapeAnalysis, V014_TupleIndexOrigin) {
+  ExprPtr t = var("t", Type::tuple({Type::int_(), Type::int_()}));
+  ExprPtr bad = make_expr(TupleGet{t, 0, 0}, Type::int_());
+  EXPECT_TRUE(check(bad, {"t"}).has("V014"));
+}
+
+TEST(ShapeAnalysis, V015_EmptySeqLiteralWithoutElementType) {
+  ExprPtr bad =
+      make_expr(SeqExpr{{}, nullptr, 0}, Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad).has("V015"));
+}
+
+// --- shape/depth corpus (V1xx / V2xx) ----------------------------------------
+
+TEST(ShapeAnalysis, V101_ScalarUsedAsFrame) {
+  ExprPtr k = var("k", Type::int_());
+  ExprPtr v = var("v", Type::seq(Type::int_()));
+  ExprPtr bad = make_expr(PrimCall{Prim::kAdd, 1, {k, v}, {1, 1}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"k", "v"}).has("V101"));
+}
+
+TEST(ShapeAnalysis, V101_ExtractDeeperThanOperand) {
+  ExprPtr v = var("v", Type::seq(Type::int_()));
+  ExprPtr bad = make_expr(PrimCall{Prim::kExtract, 0, {v, lit(2)}, {}},
+                          Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"v"}).has("V101"));
+}
+
+TEST(ShapeAnalysis, V102_ConcreteLengthConflict) {
+  // zip of a 2-element and a 3-element literal can never run.
+  ExprPtr a = make_expr(SeqExpr{{lit(1), lit(2)}, nullptr, 0},
+                        Type::seq(Type::int_()));
+  ExprPtr b = make_expr(SeqExpr{{lit(1), lit(2), lit(3)}, nullptr, 0},
+                        Type::seq(Type::int_()));
+  ExprPtr bad = make_expr(
+      PrimCall{Prim::kZip, 0, {a, b}, {}},
+      Type::seq(Type::tuple({Type::int_(), Type::int_()})));
+  EXPECT_TRUE(check(bad).has("V102"));
+}
+
+TEST(ShapeAnalysis, V103_UnbalancedInsert) {
+  // insert re-attaches 1 level of a depth-2 frame onto a depth-1 value:
+  // the result must be depth 2, but the node claims depth 1.
+  ExprPtr inner = var("r", Type::seq(Type::int_()));
+  ExprPtr frame = var("f", Type::seq_n(Type::int_(), 2));
+  ExprPtr bad = make_expr(
+      PrimCall{Prim::kInsert, 0, {inner, frame, lit(1)}, {}},
+      Type::seq(Type::int_()));
+  EXPECT_TRUE(check(bad, {"r", "f"}).has("V103"));
+}
+
+TEST(ShapeAnalysis, V104_UnguardedFlattenedRecursion) {
+  // A synthesized extension f^1 that recurses without the R2d
+  // any_true/empty-frame guard can never terminate.
+  Program p;
+  ExprPtr m = var("m", Type::seq(Type::bool_()));
+  ExprPtr rec = make_expr(FunCall{"f^1", 0, {m}, {}},
+                          Type::seq(Type::int_()));
+  FunDef ext{"f^1",
+             {Param{"m", Type::seq(Type::bool_())}},
+             Type::seq(Type::int_()),
+             rec,
+             {},
+             "f",
+             1};
+  p.functions.push_back(ext);
+  EXPECT_TRUE(analyze_program(p).has("V104"));
+
+  // The same call under the guard is accepted.
+  ExprPtr guard = make_expr(PrimCall{Prim::kAnyTrue, 0, {m}, {}},
+                            Type::bool_());
+  ExprPtr empty = make_expr(PrimCall{Prim::kEmptyFrame, 1, {m}, {}},
+                            Type::seq(Type::int_()));
+  Program ok;
+  FunDef guarded = ext;
+  guarded.body = make_expr(If{guard, rec, empty}, Type::seq(Type::int_()));
+  ok.functions.push_back(guarded);
+  EXPECT_TRUE(analyze_program(ok).ok());
+}
+
+TEST(ShapeAnalysis, V201_IdentitySurgeryWarnsButStaysOk) {
+  ExprPtr v = var("v", Type::seq(Type::int_()));
+  ExprPtr noop = make_expr(PrimCall{Prim::kExtract, 0, {v, lit(0)}, {}},
+                           Type::seq(Type::int_()));
+  Report r = check(noop, {"v"});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.has("V201"));
+}
+
+// --- clean verdicts over real pipeline outputs -------------------------------
+
+TEST(ShapeAnalysis, PipelineOutputsAnalyzeClean) {
+  for (const char* program : {
+           "fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]",
+           R"(
+             fun quicksort(v: seq(int)): seq(int) =
+               if #v <= 1 then v
+               else
+                 let pivot = v[1 + (#v / 2)] in
+                 let parts = [p <- [[x <- v | x < pivot : x],
+                                    [x <- v | x > pivot : x]] :
+                              quicksort(p)] in
+                 parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+           )",
+           R"(
+             fun d4(n: int): seq(seq(seq(seq(int)))) =
+               [a <- [1 .. n] : [b <- [1 .. a] : [c <- [1 .. b] :
+                 [d <- [1 .. c] : a * b + c * d]]]]
+           )"}) {
+    SCOPED_TRACE(program);
+    Session s(program);
+    Report r = analyze_program(s.compiled().vec);
+    EXPECT_TRUE(r.ok()) << r.to_text();
+    EXPECT_EQ(r.warning_count(), 0u) << r.to_text();
+  }
+}
+
+TEST(ShapeAnalysis, SampleProgramFilesAnalyzeClean) {
+  for (const char* path : {"examples/programs/sort.p",
+                           "examples/programs/stats.p",
+                           "examples/programs/primes.p"}) {
+    std::ifstream in(std::string(PROTEUS_SOURCE_DIR) + "/" + path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SCOPED_TRACE(path);
+    Session s(buf.str());
+    // Compiled::analysis already holds the pipeline's own run (analyzer
+    // plus bytecode verifier) — both must be error-free.
+    EXPECT_TRUE(s.compiled().analysis.ok())
+        << s.compiled().analysis.to_text();
+  }
+}
+
+}  // namespace
+}  // namespace proteus::analysis

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "testing.hpp"
+#include "vm/verify.hpp"
 #include "xform/verify.hpp"
 
 namespace proteus {
@@ -239,6 +240,11 @@ TEST_P(Fuzz, EnginesAgreeOnRandomPrograms) {
     Session session(program);
     // every random program's transformed output must be structurally valid
     xform::verify_vector_program(session.compiled().vec);
+    // ...and pass the shape/depth analyzer and bytecode verifier clean
+    EXPECT_TRUE(session.compiled().analysis.ok())
+        << session.compiled().analysis.to_text();
+    EXPECT_TRUE(vm::verify_module(*session.compiled().module).ok())
+        << vm::verify_module(*session.compiled().module).to_text();
 
     for (std::uint64_t input = 0; input < 3; ++input) {
       interp::ValueList args;
@@ -287,6 +293,10 @@ TEST_P(FuzzHelpers, EnginesAgreeWithUserFunctionCalls) {
   SCOPED_TRACE(program);
   Session session(program);
   xform::verify_vector_program(session.compiled().vec);
+  EXPECT_TRUE(session.compiled().analysis.ok())
+      << session.compiled().analysis.to_text();
+  EXPECT_TRUE(vm::verify_module(*session.compiled().module).ok())
+      << vm::verify_module(*session.compiled().module).to_text();
 
   for (std::uint64_t input = 0; input < 3; ++input) {
     interp::ValueList args;

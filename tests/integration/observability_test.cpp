@@ -136,7 +136,8 @@ TEST(Tracing, CompileEmitsPhaseSpansAndRuleEvents) {
   }
   for (const char* want :
        {"parse", "check", "canonicalize[R1]", "flatten[R2]", "optimize",
-        "translate[T1]", "verify", "vm-assemble", "compile"}) {
+        "translate[T1]", "analyze", "vm-assemble", "verify-vcode",
+        "compile"}) {
     EXPECT_TRUE(spans.count(want)) << "missing compile span: " << want;
   }
 

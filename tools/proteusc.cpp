@@ -13,8 +13,16 @@
 //                      stdout — see docs/OBSERVABILITY.md for the schema)
 //   --trace-json FILE  record compile + runtime spans and write a Chrome
 //                      trace-event file (open in Perfetto)
+//   --analyze[=json]   run the static shape/depth analyzer and the VCODE
+//                      bytecode verifier, print their diagnostics (text or
+//                      one JSON document; schema in docs/ANALYSIS.md), and
+//                      exit 0 (clean) or 3 (rejected) without running
+//   --no-verify-vcode  skip bytecode verification of the assembled module
 //   --naive            disable the Section 4.5 optimizations (ablation)
 //   --backend B        serial (default) | openmp — vl execution policy
+//
+// Exit codes: 0 success; 1 compile or runtime error; 2 usage error;
+// 3 static analysis / bytecode verification rejected the program.
 //
 // Examples:
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]'
@@ -27,10 +35,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "core/proteus.hpp"
 #include "core/report.hpp"
 #include "lang/printer.hpp"
 #include "vm/disasm.hpp"
+#include "vm/verify.hpp"
 
 namespace {
 
@@ -40,8 +50,13 @@ namespace {
       "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
       "                [--engine vec|ref|vm|both|all]\n"
       "                [--dump checked|canon|flat|vec|vcode|trace]\n"
+      "                [--analyze[=json]] [--no-verify-vcode]\n"
       "                [--backend serial|openmp] [--stats[=json]]\n"
-      "                [--trace-json FILE] [--naive]\n";
+      "                [--trace-json FILE] [--naive]\n"
+      "\n"
+      "exit codes: 0 success; 1 compile or runtime error; 2 usage error;\n"
+      "            3 static analysis / bytecode verification rejected the\n"
+      "              program (one line per diagnostic on stderr)\n";
   std::exit(err.empty() ? 0 : 2);
 }
 
@@ -77,6 +92,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> call_args;
   std::string engine = "vec";
   std::string dump;
+  bool analyze = false;
+  bool analyze_json = false;
+  bool verify_vcode = true;
   bool stats = false;
   bool stats_json = false;
   bool naive = false;
@@ -102,6 +120,13 @@ int main(int argc, char** argv) {
       engine = next("--engine");
     } else if (a == "--dump") {
       dump = next("--dump");
+    } else if (a == "--analyze") {
+      analyze = true;
+    } else if (a == "--analyze=json") {
+      analyze = true;
+      analyze_json = true;
+    } else if (a == "--no-verify-vcode") {
+      verify_vcode = false;
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--stats=json") {
@@ -158,6 +183,31 @@ int main(int argc, char** argv) {
       options.flatten.broadcast_invariant_seq_args = false;
       options.shared_row_gather = false;
     }
+    options.verify_vcode = verify_vcode;
+
+    if (analyze) {
+      // Compile through every stage and report the analyzer's + bytecode
+      // verifier's findings instead of running; exit 3 on rejection.
+      proteus::analysis::Report report;
+      try {
+        report = proteus::xform::compile(read_file(file), entry, options)
+                     .analysis;
+      } catch (const proteus::analysis::AnalysisError& e) {
+        report = e.report();
+      }
+      if (analyze_json) {
+        report.write_json(std::cout);
+        std::cout << '\n';
+      } else {
+        std::cerr << report.to_text();
+        std::cerr << "analysis: " << (report.ok() ? "ok" : "reject") << " ("
+                  << report.error_count() << " errors, "
+                  << report.warning_count() << " warnings)\n";
+      }
+      write_trace();
+      return report.ok() ? 0 : 3;
+    }
+
     proteus::Session session(read_file(file), entry, options);
     if (tracing) session.set_tracer(&tracer);
 
@@ -171,8 +221,15 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (dump == "vcode") {
+      // Header states the verifier's verdict over the module being shown
+      // (re-checked here so --no-verify-vcode still reports honestly).
+      const proteus::analysis::Report verdict =
+          proteus::vm::verify_module(*session.compiled().module);
+      std::cout << "// vcode verify: " << (verdict.ok() ? "ok" : "reject")
+                << " (" << verdict.error_count() << " errors, "
+                << verdict.warning_count() << " warnings)\n";
       std::cout << proteus::vm::to_text(*session.compiled().module);
-      return 0;
+      return verdict.ok() ? 0 : 3;
     }
     if (!dump.empty()) {
       const auto& c = session.compiled();
@@ -288,6 +345,12 @@ int main(int argc, char** argv) {
 
     write_trace();
     return 0;
+  } catch (const proteus::analysis::AnalysisError& e) {
+    // One clean line per diagnostic, then the verdict — no uncaught-
+    // exception abort, and a distinct exit code for analysis rejection.
+    std::cerr << e.report().to_text();
+    std::cerr << "proteusc: static analysis rejected the program\n";
+    return 3;
   } catch (const proteus::Error& e) {
     std::cerr << "proteusc: " << e.what() << '\n';
     return 1;
