@@ -31,8 +31,13 @@ std::string to_line(const Diagnostic& d) {
     out += " ";
   }
   if (d.loc.line > 0) {
-    out += "@" + std::to_string(d.loc.line) + ":" +
-           std::to_string(d.loc.column) + " ";
+    // += one piece at a time: the `"@" + to_string(...)` temporary form
+    // trips GCC 12's -Werror=restrict false positive (PR105651) at -O2+.
+    out += '@';
+    out += std::to_string(d.loc.line);
+    out += ':';
+    out += std::to_string(d.loc.column);
+    out += ' ';
   }
   out += ": ";
   out += d.message;

@@ -102,7 +102,7 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   exec::VValue result;
   {
     obs::Span span("run", "run.vm");
-    result = machine.call_function(name, vargs);
+    result = machine.call_function(name, std::move(vargs));
     cost_.vm_ops = machine.stats();
     cost_.vector_work = vl::stats();
     span.counter("elements", cost_.vector_work.element_work);

@@ -8,6 +8,7 @@ void publish_vl(obs::MetricsRegistry& m, const vl::VectorStats& s) {
   m.set("vl.primitive_calls", s.primitive_calls);
   m.set("vl.element_work", s.element_work);
   m.set("vl.segment_work", s.segment_work);
+  m.set("vl.buffer_allocs", s.buffer_allocs);
 }
 
 void publish_per_prim(obs::MetricsRegistry& m, std::string_view prefix,
@@ -67,6 +68,7 @@ void print_stats_text(std::ostream& os, const RunCost& cost,
   os << "[stats] vector primitives: " << cost.vector_work.primitive_calls
      << ", element work: " << cost.vector_work.element_work
      << ", segment work: " << cost.vector_work.segment_work
+     << ", buffer allocs: " << cost.vector_work.buffer_allocs
      << ", user calls: "
      << (engine == "vm" ? cost.vm_ops.calls : cost.vector_ops.calls) << '\n';
   os << "[stats] instruction mix:";

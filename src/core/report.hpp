@@ -6,7 +6,7 @@
 //   vec.calls / vec.prim_applications / vec.prim.<name>
 //   vm.calls / vm.instructions / vm.prim_applications / vm.prim.<name>
 //   vm.op.<name>.count / vm.op.<name>.work / vm.op.<name>.ns
-//   vl.primitive_calls / vl.element_work / vl.segment_work
+//   vl.primitive_calls / vl.element_work / vl.segment_work / vl.buffer_allocs
 //
 // Session::run_* calls publish_metrics automatically; the renderers
 // back `proteusc --stats` (text) and `--stats=json`.

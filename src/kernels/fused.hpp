@@ -1,0 +1,72 @@
+// fused.hpp — single-pass evaluation of fused elementwise chains.
+//
+// The VCODE optimizer (vm/fuse.hpp) collapses a chain of depth-1
+// elementwise instructions over a common frame into one kFusedMap
+// superinstruction carrying a micro-expression: a tiny post-order program
+// whose leaves are the surviving operand registers (or broadcast scalars)
+// and whose interior nodes are elementwise prims. This module evaluates
+// such an expression in ONE pass over the data — block by block through a
+// per-thread scratch arena instead of one full Vec materialization per
+// intermediate — and can run the whole chain in place in the buffer of a
+// dying input (the optimizer marks last uses; sole ownership is checked
+// at run time via the Array spine's use count).
+//
+// Cost-model contract: primitive_calls / element_work and the throw
+// behaviour of a fused chain are emulated node-for-node to match what the
+// unfused instructions would have reported — engines must stay
+// indistinguishable to the differential and stats-parity harnesses. Only
+// vl::VectorStats::buffer_allocs is allowed to drop: that counter is
+// physical, and its reduction is the point of the optimization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/vvalue.hpp"
+#include "lang/ast.hpp"
+
+namespace proteus::kernels {
+
+/// One node of a fused micro-expression.
+struct MicroOp {
+  enum class Kind : std::uint8_t { kInput, kPrim };
+  Kind kind = Kind::kInput;
+  lang::Prim prim = lang::Prim::kAdd;  ///< kPrim: the elementwise prim
+  std::uint8_t a = 0;                  ///< kPrim: operand node index (< own)
+  std::uint8_t b = 0;                  ///< kPrim binary: second operand
+  std::uint8_t input = 0;              ///< kInput: operand slot of the instr
+};
+
+// Flags on each operand slot of a fused instruction.
+inline constexpr std::uint8_t kFusedBroadcast = 1;  ///< depth-0 arg: splat
+inline constexpr std::uint8_t kFusedLastUse = 2;    ///< register dies here
+
+/// A fused elementwise chain: `nodes` in post-order (every operand index
+/// precedes its user; the root is nodes.back()), one input_flags entry per
+/// operand slot of the carrying instruction.
+struct FusedExpr {
+  std::vector<MicroOp> nodes;
+  std::vector<std::uint8_t> input_flags;
+  [[nodiscard]] std::size_t n_inputs() const { return input_flags.size(); }
+};
+
+/// Node-count cap: child indices are uint8 and the per-thread scratch
+/// arena stays cache-sized.
+inline constexpr std::size_t kMaxFusedNodes = 64;
+
+/// True when `p` belongs to the fusible elementwise family (the depth-1
+/// kernels of ew_unary/ew_binary in prims.cpp).
+[[nodiscard]] bool fusible_prim(lang::Prim p);
+
+/// Number of interior (kPrim) nodes of `e`.
+[[nodiscard]] std::size_t fused_prim_count(const FusedExpr& e);
+
+/// Evaluates the chain over `inputs` (one VValue per operand slot; slots
+/// flagged kFusedLastUse arrive as the moved-out register contents, which
+/// enables in-place reuse). Serial and OpenMP paths, selected exactly like
+/// the unfused kernels.
+[[nodiscard]] VValue eval_fused(const FusedExpr& e,
+                                std::vector<VValue> inputs);
+
+}  // namespace proteus::kernels

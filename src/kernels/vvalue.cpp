@@ -32,6 +32,12 @@ const Array& VValue::as_seq() const {
   return v->elements;
 }
 
+Array VValue::take_seq() && {
+  SeqRep* v = std::get_if<SeqRep>(&node_);
+  PROTEUS_REQUIRE(EvalError, v != nullptr, "vector value is not a sequence");
+  return std::move(v->elements);
+}
+
 const std::vector<VValue>& VValue::as_tuple() const {
   const TupleRep* v = std::get_if<TupleRep>(&node_);
   PROTEUS_REQUIRE(EvalError, v != nullptr, "vector value is not a tuple");

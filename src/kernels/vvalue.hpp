@@ -66,6 +66,9 @@ class VValue {
   [[nodiscard]] bool as_bool() const;
   /// The element array of a sequence value.
   [[nodiscard]] const Array& as_seq() const;
+  /// Destructively takes the element array out of a sequence value; the
+  /// fused evaluator uses this to consume a dying register's buffer.
+  [[nodiscard]] Array take_seq() &&;
   [[nodiscard]] const std::vector<VValue>& as_tuple() const;
   [[nodiscard]] const std::string& fun_name() const;
 

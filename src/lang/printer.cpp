@@ -231,7 +231,15 @@ class Printer {
   }
 
   static std::string suffix(int depth) {
-    return depth == 0 ? "" : "^" + std::to_string(depth);
+    // Built up via += (not `"^" + to_string(...)`): the temporary-insert
+    // form trips GCC 12's -Werror=restrict false positive (PR105651)
+    // under -O2 and higher.
+    std::string out;
+    if (depth != 0) {
+      out += '^';
+      out += std::to_string(depth);
+    }
+    return out;
   }
 
   std::ostringstream os_;

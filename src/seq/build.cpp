@@ -14,6 +14,9 @@ Array from_ints2(const std::vector<std::vector<Int>>& values) {
   IntVec lengths;
   IntVec flat;
   lengths.reserve(static_cast<Size>(values.size()));
+  std::size_t total = 0;
+  for (const auto& seg : values) total += seg.size();
+  flat.reserve(static_cast<Size>(total));
   for (const auto& seg : values) {
     lengths.push_back(static_cast<Int>(seg.size()));
     for (Int v : seg) flat.push_back(v);
@@ -25,6 +28,9 @@ Array from_ints3(const std::vector<std::vector<std::vector<Int>>>& values) {
   IntVec top;
   std::vector<std::vector<Int>> mid;
   top.reserve(static_cast<Size>(values.size()));
+  std::size_t total = 0;
+  for (const auto& seg : values) total += seg.size();
+  mid.reserve(total);
   for (const auto& seg : values) {
     top.push_back(static_cast<Int>(seg.size()));
     for (const auto& s : seg) mid.push_back(s);

@@ -31,15 +31,15 @@ struct Array::Node {
 };
 
 Array Array::ints(IntVec values) {
-  return Array(std::make_shared<const Node>(Node{IntLeaf{std::move(values)}}));
+  return Array(std::make_shared<Node>(Node{IntLeaf{std::move(values)}}));
 }
 
 Array Array::reals(RealVec values) {
-  return Array(std::make_shared<const Node>(Node{RealLeaf{std::move(values)}}));
+  return Array(std::make_shared<Node>(Node{RealLeaf{std::move(values)}}));
 }
 
 Array Array::bools(BoolVec values) {
-  return Array(std::make_shared<const Node>(Node{BoolLeaf{std::move(values)}}));
+  return Array(std::make_shared<Node>(Node{BoolLeaf{std::move(values)}}));
 }
 
 Array Array::tuple(std::vector<Array> components) {
@@ -50,13 +50,44 @@ Array Array::tuple(std::vector<Array> components) {
     PROTEUS_REQUIRE(RepresentationError, c.length() == n,
                     "tuple array components must have equal length");
   }
-  return Array(std::make_shared<const Node>(Node{TupleNode{std::move(components)}}));
+  return Array(std::make_shared<Node>(Node{TupleNode{std::move(components)}}));
 }
 
 Array Array::nested(IntVec lengths, Array inner) {
   vl::require_descriptor(lengths, inner.length(), "Array::nested");
   return Array(
-      std::make_shared<const Node>(Node{NestedNode{std::move(lengths), std::move(inner)}}));
+      std::make_shared<Node>(Node{NestedNode{std::move(lengths), std::move(inner)}}));
+}
+
+// The const_casts below are legal because every Node is created via
+// make_shared<Node> (non-const) above; the const view is only how Arrays
+// share the spine, and use_count() == 1 makes the mutation unobservable.
+
+bool Array::steal_values(IntVec& out) {
+  if (node_.use_count() != 1) return false;
+  auto* leaf = std::get_if<IntLeaf>(&const_cast<Node*>(node_.get())->alt);
+  if (leaf == nullptr) return false;
+  out = std::move(leaf->v);
+  leaf->v = IntVec{};
+  return true;
+}
+
+bool Array::steal_values(RealVec& out) {
+  if (node_.use_count() != 1) return false;
+  auto* leaf = std::get_if<RealLeaf>(&const_cast<Node*>(node_.get())->alt);
+  if (leaf == nullptr) return false;
+  out = std::move(leaf->v);
+  leaf->v = RealVec{};
+  return true;
+}
+
+bool Array::steal_values(BoolVec& out) {
+  if (node_.use_count() != 1) return false;
+  auto* leaf = std::get_if<BoolLeaf>(&const_cast<Node*>(node_.get())->alt);
+  if (leaf == nullptr) return false;
+  out = std::move(leaf->v);
+  leaf->v = BoolVec{};
+  return true;
 }
 
 Size Array::length() const {

@@ -90,6 +90,16 @@ class Array {
   /// (e.g. that extract does not copy value vectors).
   [[nodiscard]] const void* node_identity() const { return node_.get(); }
 
+  // Buffer reuse hooks for the fused elementwise evaluator: when this
+  // Array is the *sole owner* of a scalar leaf of the matching kind, the
+  // value vector is moved out into `out` (the Array keeps a valid, empty
+  // leaf) and the call returns true. Shared or non-matching arrays are
+  // left untouched — structural sharing makes sole ownership the exact
+  // condition under which mutation is unobservable.
+  [[nodiscard]] bool steal_values(IntVec& out);
+  [[nodiscard]] bool steal_values(RealVec& out);
+  [[nodiscard]] bool steal_values(BoolVec& out);
+
  private:
   struct Node;  // defined in nested.cpp (recursive through Array)
 

@@ -59,11 +59,17 @@ struct VectorStats {
   std::uint64_t primitive_calls = 0;  ///< number of vector primitives issued
   std::uint64_t element_work = 0;     ///< total elements touched (work)
   std::uint64_t segment_work = 0;     ///< segments touched by segdesc ops
+  std::uint64_t buffer_allocs = 0;    ///< output buffers kernels allocated
 
   void record(Size elements) noexcept {
     primitive_calls += 1;
     element_work += static_cast<std::uint64_t>(elements);
   }
+
+  /// Physical (not model-level) cost: one fresh output buffer. Unlike
+  /// primitive_calls/element_work — which every engine must agree on —
+  /// this is optimization-sensitive: fusion and in-place reuse lower it.
+  void record_alloc() noexcept { buffer_allocs += 1; }
 
   /// Segmented primitives additionally report how many segments their
   /// descriptor covered — the irregularity measure of a run.

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernels/fused.hpp"
 #include "kernels/vvalue.hpp"
 #include "lang/ast.hpp"
 
@@ -52,6 +53,9 @@ enum class Op : std::uint8_t {
   kSeqCons,     ///< sequence literal; depth 0 or 1; aux = types[] index or -1
   kTuple,       ///< tuple construction at depth 0/1
   kTupleGet,    ///< tuple component extraction; aux = 1-origin index
+  // superinstructions (emitted by the optimizer in fuse.hpp, never by the
+  // assembler)
+  kFusedMap,    ///< single-pass elementwise chain; aux = Function::fused idx
   // control
   kCall,        ///< dst <- functions[aux](args); aux2 = name for diagnostics
   kCallIndirect,///< dst <- (reg args[0])^depth(args[1..])
@@ -89,6 +93,7 @@ struct Function {
   std::vector<Instr> code;
   std::vector<std::uint16_t> arg_pool;
   std::vector<std::vector<std::uint8_t>> lifted_sets;
+  std::vector<kernels::FusedExpr> fused;  ///< kFusedMap micro-expressions
 };
 
 /// A linked module: every function of a V program plus shared pools. The

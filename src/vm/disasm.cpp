@@ -23,6 +23,7 @@ const char* op_name(Op op) {
     case Op::kSeqCons:      return "seq_cons";
     case Op::kTuple:        return "tuple";
     case Op::kTupleGet:     return "tuple_get";
+    case Op::kFusedMap:     return "fused";
     case Op::kCall:         return "call";
     case Op::kCallIndirect: return "call_ind";
     case Op::kBranchEmpty:  return "brempty";
@@ -52,9 +53,33 @@ std::string reg_list(const Module&, const Function& fn, const Instr& in,
   std::string out = "(";
   for (std::size_t i = from; i < in.args_count; ++i) {
     if (i != from) out += ", ";
-    out += "r" + std::to_string(fn.arg_pool[in.args_off + i]);
+    // += in two steps: `"r" + to_string(...)` trips GCC 12's
+    // -Werror=restrict false positive (PR105651) at -O2+.
+    out += 'r';
+    out += std::to_string(fn.arg_pool[in.args_off + i]);
   }
   return out + ")";
+}
+
+/// Renders node `at` of a fused micro-expression as a prefix tree, leaves
+/// shown as their operand registers (broadcast leaves with a ^ prefix).
+void fused_tree(std::ostream& os, const Function& fn, const Instr& in,
+                const kernels::FusedExpr& fe, std::size_t at) {
+  const kernels::MicroOp& mo = fe.nodes[at];
+  if (mo.kind == kernels::MicroOp::Kind::kInput) {
+    const std::uint8_t flags = fe.input_flags[mo.input];
+    if ((flags & kernels::kFusedBroadcast) != 0) os << '^';
+    os << 'r' << fn.arg_pool[in.args_off + mo.input];
+    if ((flags & kernels::kFusedLastUse) != 0) os << '!';
+    return;
+  }
+  os << lang::prim_name(mo.prim) << '(';
+  fused_tree(os, fn, in, fe, mo.a);
+  if (lang::prim_arity(mo.prim) == 2) {
+    os << ", ";
+    fused_tree(os, fn, in, fe, mo.b);
+  }
+  os << ')';
 }
 
 std::string lifted_text(const Function& fn, const Instr& in) {
@@ -114,6 +139,14 @@ void instr_text(std::ostream& os, const Module& m, const Function& fn,
       os << "r" << in.dst << " <- r" << arg0() << "."
          << in.aux << (in.depth == 1 ? " ^1" : "");
       break;
+    case Op::kFusedMap: {
+      const kernels::FusedExpr& fe =
+          fn.fused[static_cast<std::size_t>(in.aux)];
+      os << "r" << in.dst << " <- ";
+      fused_tree(os, fn, in, fe, fe.nodes.size() - 1);
+      os << "  ; " << kernels::fused_prim_count(fe) << " prims";
+      break;
+    }
     case Op::kCall:
       os << "r" << in.dst << " <- ";
       if (in.aux >= 0) {

@@ -1,0 +1,38 @@
+// fuse.hpp — the VCODE optimizer: per-function dataflow over assembled
+// bytecode that (a) collapses chains of depth-1 elementwise instructions
+// over a common frame into single-pass kFusedMap superinstructions,
+// (b) propagates copies and removes the moves and constants the fusion
+// left dead, and (c) marks each fused operand's last use so the VM can
+// move a dying register into the kernel and run the chain in place in
+// its buffer.
+//
+// The optimizer is semantics- and cost-model-preserving by construction:
+// a fused chain reports the same primitive_calls / element_work /
+// per-prim tallies and throws the same diagnostics as the instructions
+// it replaced (see kernels/fused.hpp). Only physical buffer allocations
+// (vl.buffer_allocs) drop — one output buffer per chain instead of one
+// per instruction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace proteus::vm {
+
+struct Module;
+
+/// Tallies of one optimize_module run (surfaced by proteusc --stats and
+/// the pipeline's optimize-vcode span).
+struct FuseStats {
+  std::uint64_t fused_chains = 0;      ///< kFusedMap superinstructions made
+  std::uint64_t fused_prims = 0;       ///< elementwise instrs folded in
+  std::uint64_t eliminated_instrs = 0; ///< instructions removed outright
+  std::uint64_t eliminated_moves = 0;  ///< of which register moves
+};
+
+/// Optimizes every function of `m` and returns the rewritten module (the
+/// input is not modified; unoptimized callers can keep running it).
+[[nodiscard]] std::shared_ptr<const Module> optimize_module(
+    const Module& m, FuseStats* stats = nullptr);
+
+}  // namespace proteus::vm

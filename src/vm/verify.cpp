@@ -95,7 +95,7 @@ int expected_args(const Instr& in) {
     case Op::kSegment:
       return lang::prim_arity(in.prim);
     default:
-      return -1;  // kSeqCons, kTuple, kCall, kCallIndirect
+      return -1;  // kSeqCons, kTuple, kCall, kCallIndirect, kFusedMap
   }
 }
 
@@ -313,6 +313,9 @@ class Verifier {
         }
         if (in.depth > 1) err("B212", "tuple_extract depth > 1", pc);
         break;
+      case Op::kFusedMap:
+        check_fused(in, pc);
+        break;
       case Op::kCall:
         if (in.aux >= 0) {
           if (static_cast<std::size_t>(in.aux) >=
@@ -356,6 +359,80 @@ class Verifier {
       case Op::kMove:
       case Op::kRet:
         break;
+    }
+  }
+
+  /// kFusedMap: the superinstruction's micro-expression must be a closed,
+  /// acyclic post-order program over the instruction's operand slots
+  /// (B213), and its operand-slot metadata must agree with the operand
+  /// list (B214).
+  void check_fused(const Instr& in, std::size_t pc) {
+    const Function& fn = *fn_;
+    if (in.depth != 1) {
+      err("B212", "fused superinstruction with depth != 1", pc);
+    }
+    if (in.aux < 0 ||
+        static_cast<std::size_t>(in.aux) >= fn.fused.size()) {
+      err("B213", "fused-expression index " + std::to_string(in.aux) +
+                      " outside the function's fused pool",
+          pc);
+      return;
+    }
+    const kernels::FusedExpr& fe =
+        fn.fused[static_cast<std::size_t>(in.aux)];
+    if (fe.nodes.empty() || fe.nodes.size() > kernels::kMaxFusedNodes) {
+      err("B213",
+          "fused expression with " + std::to_string(fe.nodes.size()) +
+              " nodes (1.." + std::to_string(kernels::kMaxFusedNodes) +
+              " allowed)",
+          pc);
+      return;
+    }
+    if (fe.nodes.back().kind != kernels::MicroOp::Kind::kPrim) {
+      err("B213", "fused expression whose root is a bare operand", pc);
+    }
+    if (fe.input_flags.size() != in.args_count) {
+      err("B214",
+          std::to_string(fe.input_flags.size()) +
+              " operand-slot flags for " + std::to_string(in.args_count) +
+              " operands",
+          pc);
+      return;
+    }
+    bool any_frame = false;
+    for (const std::uint8_t flags : fe.input_flags) {
+      if ((flags & kernels::kFusedBroadcast) == 0) any_frame = true;
+    }
+    if (!any_frame) {
+      err("B214", "fused expression with every operand broadcast", pc);
+    }
+    for (std::size_t k = 0; k < fe.nodes.size(); ++k) {
+      const kernels::MicroOp& mo = fe.nodes[k];
+      if (mo.kind == kernels::MicroOp::Kind::kInput) {
+        if (mo.input >= fe.input_flags.size()) {
+          err("B214",
+              "micro-op " + std::to_string(k) + " reads operand slot " +
+                  std::to_string(mo.input) + " of " +
+                  std::to_string(fe.input_flags.size()),
+              pc);
+        }
+        continue;
+      }
+      if (!kernels::fusible_prim(mo.prim)) {
+        err("B213",
+            std::string("non-elementwise prim '") +
+                lang::prim_name(mo.prim) + "' inside a fused expression",
+            pc);
+      }
+      // Post-order: children strictly precede their user (acyclic by
+      // construction when this holds everywhere).
+      const int arity = lang::prim_arity(mo.prim);
+      if (mo.a >= k || (arity == 2 && mo.b >= k)) {
+        err("B213",
+            "micro-op " + std::to_string(k) +
+                " reads a node at or after itself",
+            pc);
+      }
     }
   }
 
@@ -450,6 +527,29 @@ class Verifier {
             d = state[a[i]].depth;
             break;
           }
+        }
+        out = Kind::seq(d);
+        break;
+      }
+      case Op::kFusedMap: {
+        // Same kind transfer as the chain it replaced: the result is a
+        // flat frame whose descriptor comes from the lifted operands.
+        // A definitely-non-sequence register in a frame (non-broadcast)
+        // slot would make every constituent instruction fail.
+        const auto& fe =
+            fn.fused[static_cast<std::size_t>(in.aux)];
+        int d = -1;
+        for (std::size_t i = 0; i < in.args_count; ++i) {
+          if ((fe.input_flags[i] & kernels::kFusedBroadcast) != 0) continue;
+          const Kind v = state[a[i]];
+          if (v.tag == Kind::kScalar || v.tag == Kind::kTuple ||
+              v.tag == Kind::kFun) {
+            err("B211",
+                "fused frame operand r" + std::to_string(a[i]) +
+                    " is not a sequence",
+                pc);
+          }
+          if (d < 0 && v.tag == Kind::kSeq && v.depth > 0) d = v.depth;
         }
         out = Kind::seq(d);
         break;

@@ -32,11 +32,10 @@ VM::VM(std::shared_ptr<const Module> module, VMOptions options)
   if (options_.verify) verify_module_or_throw(*module_);
 }
 
-VValue VM::call_function(const std::string& name,
-                         const std::vector<VValue>& args) {
+VValue VM::call_function(const std::string& name, std::vector<VValue> args) {
   auto it = module_->fn_index.find(name);
   if (it == module_->fn_index.end()) unknown_function(name);
-  return invoke(it->second, args, name);
+  return invoke(it->second, std::move(args), name);
 }
 
 VValue VM::eval_entry() {
@@ -204,6 +203,32 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
       case Op::kTupleGet:
         out = kernels::tuple_get(regs[a[0]], in.aux, in.depth);
         break;
+      case Op::kFusedMap: {
+        const kernels::FusedExpr& fe =
+            fn.fused[static_cast<std::size_t>(in.aux)];
+        std::vector<VValue> vals;
+        vals.reserve(in.args_count);
+        for (std::size_t i = 0; i < in.args_count; ++i) {
+          // A dying register moves into the kernel so its buffer can be
+          // reused in place; flags mark only the LAST occurrence of a
+          // register, so earlier duplicate slots still see the value.
+          if ((fe.input_flags[i] & kernels::kFusedLastUse) != 0) {
+            vals.push_back(std::move(regs[a[i]]));
+          } else {
+            vals.push_back(regs[a[i]]);
+          }
+        }
+        // Every constituent prim still counts as one application, exactly
+        // as the unfused chain would have reported.
+        for (const kernels::MicroOp& mo : fe.nodes) {
+          if (mo.kind == kernels::MicroOp::Kind::kPrim) {
+            stats_.prim_applications += 1;
+            stats_.per_prim[mo.prim] += 1;
+          }
+        }
+        out = kernels::eval_fused(fe, std::move(vals));
+        break;
+      }
       default:
         throw EvalError("vm: corrupt instruction stream");
     }

@@ -62,9 +62,12 @@ class VM {
   explicit VM(std::shared_ptr<const Module> module, VMOptions options = {});
 
   /// Calls a compiled function by name (the tree executor's
-  /// call_function contract, including its error messages).
-  [[nodiscard]] kernels::VValue call_function(
-      const std::string& name, const std::vector<kernels::VValue>& args);
+  /// call_function contract, including its error messages). Takes the
+  /// arguments by value: they move straight into the frame's registers,
+  /// so a caller done with its copies hands buffers to the VM — which the
+  /// fused kernels can then recycle in place.
+  [[nodiscard]] kernels::VValue call_function(const std::string& name,
+                                              std::vector<kernels::VValue> args);
 
   /// Runs the module's compiled entry expression.
   [[nodiscard]] kernels::VValue eval_entry();

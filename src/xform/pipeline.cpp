@@ -10,6 +10,7 @@
 #include "xform/optimize.hpp"
 #include "xform/translate.hpp"
 #include "vm/compile.hpp"
+#include "vm/fuse.hpp"
 #include "vm/verify.hpp"
 
 namespace proteus::xform {
@@ -138,6 +139,14 @@ Compiled compile(std::string_view program_source,
   {
     obs::Span span("compile", "vm-assemble");
     out.module = vm::compile_module(out.vec, out.entry_vec);
+  }
+
+  if (options.optimize_vcode) {
+    obs::Span span("compile", "optimize-vcode");
+    out.module = vm::optimize_module(*out.module, &out.fusion);
+    span.counter("fused_chains", out.fusion.fused_chains);
+    span.counter("fused_prims", out.fusion.fused_prims);
+    span.counter("eliminated_instrs", out.fusion.eliminated_instrs);
   }
 
   if (options.verify_vcode) {

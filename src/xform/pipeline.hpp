@@ -15,6 +15,7 @@
 
 #include "analysis/diagnostic.hpp"
 #include "lang/ast.hpp"
+#include "vm/fuse.hpp"
 #include "xform/flatten.hpp"
 
 namespace proteus::vm {
@@ -33,8 +34,14 @@ struct PipelineOptions {
   /// of run time). The report is retained in Compiled::analysis; errors
   /// throw analysis::AnalysisError.
   bool verify_output = true;
+  /// Run the VCODE optimizer (src/vm/fuse.hpp) over the assembled
+  /// module: elementwise chain fusion into single-pass superinstructions,
+  /// copy propagation, dead-move elimination, and last-use marking for
+  /// in-place buffer reuse (proteusc -O0 turns this off).
+  bool optimize_vcode = true;
   /// Run the VCODE bytecode verifier (src/vm/verify.hpp) over the
-  /// assembled module (proteusc --no-verify-vcode turns this off).
+  /// assembled (and optimized) module (proteusc --no-verify-vcode turns
+  /// this off).
   bool verify_vcode = true;
   /// Collect a KIDS-style derivation trace (one line per rule firing)
   /// into Compiled::derivation. Implemented over the obs span/event
@@ -58,8 +65,12 @@ struct Compiled {
   lang::ExprPtr entry_vec;
 
   /// The V program (and entry) assembled into linear bytecode — the
-  /// module the vm engine executes (see src/vm/bytecode.hpp).
+  /// module the vm engine executes (see src/vm/bytecode.hpp). When
+  /// options.optimize_vcode is on this is the optimized module.
   std::shared_ptr<const vm::Module> module;
+
+  /// Tallies of the VCODE optimizer (zero when optimize_vcode is off).
+  vm::FuseStats fusion;
 
   /// Findings of the static shape/depth analyzer and the bytecode
   /// verifier (populated when the respective options are on; an error-free

@@ -205,6 +205,130 @@ TEST(VcodeVerify, B212_DepthFieldOutOfRange) {
   EXPECT_TRUE(verify_module(m).has("B212"));
 }
 
+/// fun f(a: seq, b: seq) = (a + b) * a as one fused superinstruction.
+Module fused_module() {
+  Module m;
+  Function f;
+  f.name = "f";
+  f.n_params = 2;
+  f.n_regs = 3;
+  f.arg_pool = {0, 1, 2};
+  kernels::FusedExpr fe;
+  fe.nodes = {
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kInput, .input = 0},
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kInput, .input = 1},
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kPrim,
+                       .prim = Prim::kAdd,
+                       .a = 0,
+                       .b = 1},
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kPrim,
+                       .prim = Prim::kMul,
+                       .a = 2,
+                       .b = 0},
+  };
+  fe.input_flags = {0, 0};
+  f.fused.push_back(std::move(fe));
+  f.code = {
+      Instr{.op = Op::kFusedMap,
+            .depth = 1,
+            .dst = 2,
+            .args_count = 2,
+            .args_off = 0,
+            .aux = 0},
+      Instr{.op = Op::kRet, .args_count = 1, .args_off = 2},
+  };
+  m.functions.push_back(std::move(f));
+  m.fn_index["f"] = 0;
+  return m;
+}
+
+TEST(VcodeVerify, AcceptsHandAssembledFusedModule) {
+  Report r = verify_module(fused_module());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+}
+
+TEST(VcodeVerify, B212_FusedInstructionMustBeDepthOne) {
+  Module m = fused_module();
+  m.functions[0].code[0].depth = 0;
+  EXPECT_TRUE(verify_module(m).has("B212"));
+}
+
+TEST(VcodeVerify, B213_FusedExpressionIndexOutOfRange) {
+  Module m = fused_module();
+  m.functions[0].code[0].aux = 7;
+  EXPECT_TRUE(verify_module(m).has("B213"));
+
+  Module m2 = fused_module();
+  m2.functions[0].code[0].aux = -1;
+  EXPECT_TRUE(verify_module(m2).has("B213"));
+}
+
+TEST(VcodeVerify, B213_FusedExpressionNodeCount) {
+  Module m = fused_module();
+  m.functions[0].fused[0].nodes.clear();
+  EXPECT_TRUE(verify_module(m).has("B213"));
+
+  Module m2 = fused_module();
+  m2.functions[0].fused[0].nodes.resize(
+      kernels::kMaxFusedNodes + 1,
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kInput, .input = 0});
+  EXPECT_TRUE(verify_module(m2).has("B213"));
+}
+
+TEST(VcodeVerify, B213_FusedRootMustBeAPrim) {
+  Module m = fused_module();
+  m.functions[0].fused[0].nodes.push_back(
+      kernels::MicroOp{.kind = kernels::MicroOp::Kind::kInput, .input = 0});
+  EXPECT_TRUE(verify_module(m).has("B213"));
+}
+
+TEST(VcodeVerify, B213_NonElementwisePrimInsideAFusedExpression) {
+  Module m = fused_module();
+  m.functions[0].fused[0].nodes[2].prim = Prim::kSum;  // a reduction
+  EXPECT_TRUE(verify_module(m).has("B213"));
+}
+
+TEST(VcodeVerify, B213_MicroOpReadsANodeAtOrAfterItself) {
+  Module m = fused_module();
+  m.functions[0].fused[0].nodes[2].a = 2;  // self-reference
+  EXPECT_TRUE(verify_module(m).has("B213"));
+
+  Module m2 = fused_module();
+  m2.functions[0].fused[0].nodes[2].b = 3;  // forward reference
+  EXPECT_TRUE(verify_module(m2).has("B213"));
+}
+
+TEST(VcodeVerify, B214_OperandSlotFlagsMismatch) {
+  Module m = fused_module();
+  m.functions[0].fused[0].input_flags.push_back(0);  // 3 flags, 2 operands
+  EXPECT_TRUE(verify_module(m).has("B214"));
+}
+
+TEST(VcodeVerify, B214_MicroOpReadsAMissingOperandSlot) {
+  Module m = fused_module();
+  m.functions[0].fused[0].nodes[1].input = 9;
+  EXPECT_TRUE(verify_module(m).has("B214"));
+}
+
+TEST(VcodeVerify, B214_FusedExpressionNeedsAFrameOperand) {
+  Module m = fused_module();
+  m.functions[0].fused[0].input_flags = {kernels::kFusedBroadcast,
+                                         kernels::kFusedBroadcast};
+  EXPECT_TRUE(verify_module(m).has("B214"));
+}
+
+TEST(VcodeVerify, B211_FusedFrameOperandMustBeASequence) {
+  // Feed the fused instruction a scalar constant as its frame operand.
+  Module m = fused_module();
+  m.constants.push_back(kernels::VValue::ints(3));
+  Function& f = m.functions[0];
+  f.code.insert(f.code.begin(),
+                Instr{.op = Op::kConst, .dst = 0, .aux = 0});
+  f.n_params = 0;
+  // r1 is now undefined too, but the scalar-frame complaint must appear.
+  EXPECT_TRUE(verify_module(m).has("B211"));
+}
+
 TEST(VcodeVerify, VMConstructionVerifiesByDefault) {
   Module bad = add_module();
   bad.functions[0].code[0].dst = 999;

@@ -38,14 +38,15 @@ TEST(Ablation, ReplicationCostsMoreElementWork) {
   // clearly a waste of time and space".
   Session optimized(kGatherHeavy);
   Session naive(kGatherHeavy, {}, naive_options());
-  interp::ValueList arg{val("[" + [] {
-                          std::string s;
-                          for (int i = 0; i < 500; ++i) {
-                            if (i) s += ',';
-                            s += std::to_string(i);
-                          }
-                          return s;
-                        }() + "]")};
+  // Built with += throughout: the `"[" + s + "]"` temporary-insert form
+  // trips GCC 12's -Werror=restrict false positive (PR105651) at -O2+.
+  std::string literal = "[";
+  for (int i = 0; i < 500; ++i) {
+    if (i) literal += ',';
+    literal += std::to_string(i);
+  }
+  literal += ']';
+  interp::ValueList arg{val(literal)};
   (void)optimized.run_vector("rev", arg);
   auto opt_work = optimized.last_cost().vector_work.element_work;
   (void)naive.run_vector("rev", arg);

@@ -202,10 +202,12 @@ Outcome run(Session& s, const std::string& fn, const interp::ValueList& args,
   return o;
 }
 
-/// Runs `fn` on all three engines and asserts pairwise agreement.
+/// Runs `fn` on all three engines (plus, when given, the VM of a session
+/// compiled without the VCODE optimizer) and asserts pairwise agreement.
 void expect_engines_agree(Session& s, const std::string& fn,
                           const interp::ValueList& args,
-                          std::uint64_t input) {
+                          std::uint64_t input,
+                          Session* unfused = nullptr) {
   Outcome ref = run(s, fn, args, Engine::kRef);
   Outcome vec = run(s, fn, args, Engine::kVec);
   Outcome bc = run(s, fn, args, Engine::kVm);
@@ -221,6 +223,21 @@ void expect_engines_agree(Session& s, const std::string& fn,
         << "input " << input << ": ref " << interp::to_text(ref.value)
         << " vs vm " << interp::to_text(bc.value);
   }
+  if (unfused != nullptr) {
+    Outcome plain = run(*unfused, fn, args, Engine::kVm);
+    EXPECT_EQ(bc.threw, plain.threw) << "input " << input << " (vm -O0)";
+    if (!bc.threw && !plain.threw) {
+      EXPECT_EQ(bc.value, plain.value)
+          << "input " << input << ": vm -O1 " << interp::to_text(bc.value)
+          << " vs vm -O0 " << interp::to_text(plain.value);
+    }
+  }
+}
+
+xform::PipelineOptions unfused_options() {
+  xform::PipelineOptions options;
+  options.optimize_vcode = false;
+  return options;
 }
 
 class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -238,6 +255,7 @@ TEST_P(Fuzz, EnginesAgreeOnRandomPrograms) {
 
     SCOPED_TRACE(program);
     Session session(program);
+    Session unfused(program, {}, unfused_options());
     // every random program's transformed output must be structurally valid
     xform::verify_vector_program(session.compiled().vec);
     // ...and pass the shape/depth analyzer and bytecode verifier clean
@@ -262,7 +280,7 @@ TEST_P(Fuzz, EnginesAgreeOnRandomPrograms) {
           lang::Type::seq(lang::Type::seq(lang::Type::int_()))));
       args.push_back(interp::Value::ints(static_cast<vl::Int>(input) + 1));
 
-      expect_engines_agree(session, "fz", args, input);
+      expect_engines_agree(session, "fz", args, input, &unfused);
     }
   }
 }
@@ -292,6 +310,7 @@ TEST_P(FuzzHelpers, EnginesAgreeWithUserFunctionCalls) {
 
   SCOPED_TRACE(program);
   Session session(program);
+  Session unfused(program, {}, unfused_options());
   xform::verify_vector_program(session.compiled().vec);
   EXPECT_TRUE(session.compiled().analysis.ok())
       << session.compiled().analysis.to_text();
@@ -312,7 +331,7 @@ TEST_P(FuzzHelpers, EnginesAgreeWithUserFunctionCalls) {
         lang::Type::seq(lang::Type::seq(lang::Type::int_()))));
     args.push_back(interp::Value::ints(static_cast<vl::Int>(input) + 2));
 
-    expect_engines_agree(session, "fz", args, input);
+    expect_engines_agree(session, "fz", args, input, &unfused);
   }
 }
 

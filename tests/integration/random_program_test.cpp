@@ -16,8 +16,14 @@ std::string random_literal(std::uint64_t seed, int depth, vl::Size top,
                            vl::Size max_seg) {
   seq::Array a = seq::random_nested_ints(seed, depth - 1, top, max_seg);
   // Always ascribe: generated shapes may contain only empty subsequences.
-  std::string type = depth == 1 ? "seq(int)" : "seq(seq(int))";
-  return "(" + seq::to_text(a) + " : " + type + ")";
+  // (Built with += — the `"(" + s + ...` temporary-insert form trips GCC
+  // 12's -Werror=restrict false positive, PR105651, at -O2+.)
+  std::string out = "(";
+  out += seq::to_text(a);
+  out += " : ";
+  out += depth == 1 ? "seq(int)" : "seq(seq(int))";
+  out += ')';
+  return out;
 }
 
 struct Sweep {
@@ -26,28 +32,44 @@ struct Sweep {
   vl::Size max_seg;
 };
 
+xform::PipelineOptions unfused_options() {
+  xform::PipelineOptions options;
+  options.optimize_vcode = false;
+  return options;
+}
+
+/// All three engines agree, and the VM of an -O0 compile of the same
+/// source (no VCODE fusion) matches the default (-O1) VM.
+void both_and_unfused(Session& s, Session& unfused, const char* fn,
+                      const interp::ValueList& args) {
+  interp::Value reference = testing::both(s, fn, args);
+  EXPECT_EQ(unfused.run_vm(fn, args), reference) << fn << " (vm -O0)";
+}
+
 class RandomInputs : public ::testing::TestWithParam<Sweep> {};
 
 TEST_P(RandomInputs, FlatPrograms) {
   const Sweep& p = GetParam();
-  Session s(R"(
+  const char* source = R"(
     fun evens(v: seq(int)): seq(int) = [x <- v | x mod 2 == 0 : x]
     fun clamp(v: seq(int)): seq(int) =
       [x <- v : if x < 0 then 0 else x]
     fun revidx(v: seq(int)): seq(int) = [i <- [1 .. #v] : v[#v + 1 - i]]
     fun squares(v: seq(int)): seq(int) = [x <- v : x * x]
     fun runningpairs(v: seq(int)): seq((int, int)) = [x <- v : (x, x + 1)]
-  )");
+  )";
+  Session s(source);
+  Session unfused(source, {}, unfused_options());
   interp::Value input = testing::val(random_literal(p.seed, 1, p.top, 0));
   for (const char* fn :
        {"evens", "clamp", "revidx", "squares", "runningpairs"}) {
-    testing::both(s, fn, {input});
+    both_and_unfused(s, unfused, fn, {input});
   }
 }
 
 TEST_P(RandomInputs, NestedPrograms) {
   const Sweep& p = GetParam();
-  Session s(R"(
+  const char* source = R"(
     fun rowsums(m: seq(seq(int))): seq(int) = [row <- m : sum(row)]
     fun lens(m: seq(seq(int))): seq(int) = [row <- m : #row]
     fun sq_each(m: seq(seq(int))): seq(seq(int)) =
@@ -58,18 +80,20 @@ TEST_P(RandomInputs, NestedPrograms) {
       [row <- m : if #row == 0 then 0 else row[1]]
     fun flatit(m: seq(seq(int))): seq(int) = flatten(m)
     fun dupcat(m: seq(seq(int))): seq(seq(int)) = [row <- m : row ++ row]
-  )");
+  )";
+  Session s(source);
+  Session unfused(source, {}, unfused_options());
   interp::Value input =
       testing::val(random_literal(p.seed + 100, 2, p.top, p.max_seg));
   for (const char* fn : {"rowsums", "lens", "sq_each", "keep_pos",
                          "headszero", "flatit", "dupcat"}) {
-    testing::both(s, fn, {input});
+    both_and_unfused(s, unfused, fn, {input});
   }
 }
 
 TEST_P(RandomInputs, RecursiveProgram) {
   const Sweep& p = GetParam();
-  Session s(R"(
+  const char* source = R"(
     fun qs(v: seq(int)): seq(int) =
       if #v <= 1 then v
       else
@@ -78,10 +102,12 @@ TEST_P(RandomInputs, RecursiveProgram) {
         qs([x <- rest | x < pivot : x]) ++ [pivot] ++
         qs([x <- rest | x >= pivot : x])
     fun sortrows(m: seq(seq(int))): seq(seq(int)) = [row <- m : qs(row)]
-  )");
+  )";
+  Session s(source);
+  Session unfused(source, {}, unfused_options());
   interp::Value input =
       testing::val(random_literal(p.seed + 200, 2, p.top, p.max_seg));
-  testing::both(s, "sortrows", {input});
+  both_and_unfused(s, unfused, "sortrows", {input});
 }
 
 INSTANTIATE_TEST_SUITE_P(

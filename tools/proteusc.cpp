@@ -18,6 +18,8 @@
 //                      one JSON document; schema in docs/ANALYSIS.md), and
 //                      exit 0 (clean) or 3 (rejected) without running
 //   --no-verify-vcode  skip bytecode verification of the assembled module
+//   -O0 / -O1          disable / enable (default) the VCODE optimizer:
+//                      elementwise chain fusion + dead-move elimination
 //   --naive            disable the Section 4.5 optimizations (ablation)
 //   --backend B        serial (default) | openmp — vl execution policy
 //
@@ -50,7 +52,7 @@ namespace {
       "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
       "                [--engine vec|ref|vm|both|all]\n"
       "                [--dump checked|canon|flat|vec|vcode|trace]\n"
-      "                [--analyze[=json]] [--no-verify-vcode]\n"
+      "                [--analyze[=json]] [--no-verify-vcode] [-O0|-O1]\n"
       "                [--backend serial|openmp] [--stats[=json]]\n"
       "                [--trace-json FILE] [--naive]\n"
       "\n"
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool analyze_json = false;
   bool verify_vcode = true;
+  bool optimize_vcode = true;
   bool stats = false;
   bool stats_json = false;
   bool naive = false;
@@ -127,6 +130,10 @@ int main(int argc, char** argv) {
       analyze_json = true;
     } else if (a == "--no-verify-vcode") {
       verify_vcode = false;
+    } else if (a == "-O0") {
+      optimize_vcode = false;
+    } else if (a == "-O1") {
+      optimize_vcode = true;
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--stats=json") {
@@ -184,6 +191,7 @@ int main(int argc, char** argv) {
       options.shared_row_gather = false;
     }
     options.verify_vcode = verify_vcode;
+    options.optimize_vcode = optimize_vcode;
 
     if (analyze) {
       // Compile through every stage and report the analyzer's + bytecode
@@ -320,6 +328,14 @@ int main(int argc, char** argv) {
       if (!stats_json) std::cout << final_result << '\n';
     }
 
+    if (stats && !stats_json) {
+      const proteus::vm::FuseStats& f = session.compiled().fusion;
+      std::cerr << "[compile] vcode optimizer: " << f.fused_chains
+                << " fused chains (" << f.fused_prims << " prims), "
+                << f.eliminated_instrs << " instrs eliminated ("
+                << f.eliminated_moves << " moves)\n";
+    }
+
     if (stats_json) {
       // One machine-readable document on stdout: result, per-run
       // metrics, and compile-time rule-firing counts.
@@ -340,7 +356,11 @@ int main(int argc, char** argv) {
       }
       std::cout << "],\"compile\":{\"rule_counts\":";
       write_rule_counts_json(std::cout, session.compiled().rule_counts);
-      std::cout << "}}\n";
+      const proteus::vm::FuseStats& f = session.compiled().fusion;
+      std::cout << ",\"fusion\":{\"fused_chains\":" << f.fused_chains
+                << ",\"fused_prims\":" << f.fused_prims
+                << ",\"eliminated_instrs\":" << f.eliminated_instrs
+                << ",\"eliminated_moves\":" << f.eliminated_moves << "}}}\n";
     }
 
     write_trace();
