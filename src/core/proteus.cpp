@@ -1,5 +1,7 @@
 #include "core/proteus.hpp"
 
+#include <functional>
+#include <map>
 #include <utility>
 
 #include "core/report.hpp"
@@ -17,6 +19,16 @@ using lang::TypePtr;
 /// Installs a Session-level tracer (when one is set) for the duration of
 /// a run_* call.
 using RunScope = obs::MaybeTracerScope;
+
+/// One engine attempt of the degradation ladder (docs/ROBUSTNESS.md).
+/// `run` does everything for a standalone execution — argument
+/// conversion, stats reset, the run span, and metric publication — so a
+/// fallback attempt starts from a clean slate and an injected fault
+/// striking during conversion is absorbed by the same ladder.
+struct Session::Rung {
+  const char* engine;  ///< "vm", "vm-o0", "exec", or "interp"
+  std::function<Value()> run;
+};
 
 Session::Session(std::string_view program_source,
                  std::string_view entry_source,
@@ -37,147 +49,314 @@ TypePtr Session::result_type(const std::string& name) const {
   return checked_fun(name).result;
 }
 
+Value Session::run_ladder(std::vector<Rung> rungs) {
+  cost_ = RunCost{};
+  degradations_.clear();
+  RunScope tracing(tracer_);
+  // One governor scope spans the whole ladder: a fallback attempt runs
+  // under the same deadline and budget as the attempt it replaces.
+  rt::GovernorScope governor(budget_);
+  // rt.* events are buffered here and merged after publish_metrics (which
+  // clears the registry) so they survive into last_cost().metrics.
+  std::map<std::string, std::uint64_t> rt_events;
+  auto merge_events = [&] {
+    for (const auto& [name, count] : rt_events) cost_.metrics.add(name, count);
+  };
+  for (std::size_t i = 0;; ++i) {
+    const Rung& rung = rungs[i];
+    try {
+      Value result = rung.run();
+      merge_events();
+      return result;
+    } catch (const rt::RuntimeTrap& trap) {
+      rt_events[std::string("rt.trap.") + trap_code(trap.trap())] += 1;
+      const bool can_retry = fallback_ && i + 1 < rungs.size() &&
+                             rt::retryable(trap.trap());
+      if (!can_retry) {
+        degradations_.push_back(std::string("trap in ") + rung.engine + ": " +
+                                trap.what());
+        merge_events();
+        throw;
+      }
+      const Rung& next = rungs[i + 1];
+      rt_events[std::string("rt.fallback.") + rung.engine] += 1;
+      degradations_.push_back(std::string(rung.engine) + " -> " + next.engine +
+                              " after " + trap.what());
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant("run", std::string("rt.fallback.") + rung.engine,
+                   trap.what());
+      }
+    }
+  }
+}
+
 Value Session::run_reference(const std::string& name,
                              const ValueList& args) {
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  interp::Interpreter interp(compiled_.checked);
-  Value result;
-  {
-    obs::Span span("run", "run.reference");
-    result = interp.call_function(name, args);
-    cost_.reference = interp.stats();
-    span.counter("iterations", cost_.reference.iterations);
-    span.counter("scalar_ops", cost_.reference.scalar_ops);
-    span.counter("calls", cost_.reference.calls);
-  }
-  publish_metrics(cost_, "ref");
-  return result;
+  Rung rung{"interp", [this, &name, &args] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.call_function(name, args);
+      cost_.reference = interp.stats();
+      span.counter("iterations", cost_.reference.iterations);
+      span.counter("scalar_ops", cost_.reference.scalar_ops);
+      span.counter("calls", cost_.reference.calls);
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  }};
+  std::vector<Rung> rungs;
+  rungs.push_back(std::move(rung));
+  return run_ladder(std::move(rungs));
 }
 
 Value Session::run_vector(const std::string& name, const ValueList& args) {
   const FunDef& f = checked_fun(name);
   PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
                   "'" + name + "' called with wrong argument count");
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  std::vector<exec::VValue> vargs;
-  vargs.reserve(args.size());
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
-  }
-  exec::Executor ex(compiled_.vec, prim_options_);
-  vl::reset_stats();
-  exec::VValue result;
-  {
-    obs::Span span("run", "run.vector");
-    result = ex.call_function(name, vargs);
-    cost_.vector_ops = ex.stats();
-    cost_.vector_work = vl::stats();
-    span.counter("elements", cost_.vector_work.element_work);
-    span.counter("segments", cost_.vector_work.segment_work);
-    span.counter("prims", cost_.vector_work.primitive_calls);
-    span.counter("calls", cost_.vector_ops.calls);
-  }
-  publish_metrics(cost_, "vec");
-  return exec::to_boxed(result, f.result);
+  auto exec_attempt = [this, &f, &name, &args] {
+    cost_ = RunCost{};
+    std::vector<exec::VValue> vargs;
+    vargs.reserve(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+    }
+    exec::Executor ex(compiled_.vec, prim_options_);
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vector");
+      result = ex.call_function(name, vargs);
+      cost_.vector_ops = ex.stats();
+      cost_.vector_work = vl::stats();
+      span.counter("elements", cost_.vector_work.element_work);
+      span.counter("segments", cost_.vector_work.segment_work);
+      span.counter("prims", cost_.vector_work.primitive_calls);
+      span.counter("calls", cost_.vector_ops.calls);
+    }
+    publish_metrics(cost_, "vec");
+    return exec::to_boxed(result, f.result);
+  };
+  auto interp_attempt = [this, &name, &args] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.call_function(name, args);
+      cost_.reference = interp.stats();
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  };
+  std::vector<Rung> rungs;
+  rungs.push_back({"exec", exec_attempt});
+  rungs.push_back({"interp", interp_attempt});
+  return run_ladder(std::move(rungs));
 }
 
 Value Session::run_vm(const std::string& name, const ValueList& args) {
   const FunDef& f = checked_fun(name);
   PROTEUS_REQUIRE(EvalError, f.params.size() == args.size(),
                   "'" + name + "' called with wrong argument count");
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  std::vector<exec::VValue> vargs;
-  vargs.reserve(args.size());
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+  auto vm_attempt = [this, &f, &name, &args](
+                        const std::shared_ptr<const vm::Module>& module) {
+    cost_ = RunCost{};
+    std::vector<exec::VValue> vargs;
+    vargs.reserve(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+    }
+    // The pipeline already bytecode-verified the module at assembly
+    // time; re-verifying on every run would tax the dispatch benches.
+    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false});
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vm");
+      result = machine.call_function(name, std::move(vargs));
+      cost_.vm_ops = machine.stats();
+      cost_.vector_work = vl::stats();
+      span.counter("elements", cost_.vector_work.element_work);
+      span.counter("segments", cost_.vector_work.segment_work);
+      span.counter("instructions", cost_.vm_ops.instructions);
+      span.counter("calls", cost_.vm_ops.calls);
+    }
+    publish_metrics(cost_, "vm");
+    return exec::to_boxed(result, f.result);
+  };
+  auto exec_attempt = [this, &f, &name, &args] {
+    cost_ = RunCost{};
+    std::vector<exec::VValue> vargs;
+    vargs.reserve(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
+    }
+    exec::Executor ex(compiled_.vec, prim_options_);
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vector");
+      result = ex.call_function(name, vargs);
+      cost_.vector_ops = ex.stats();
+      cost_.vector_work = vl::stats();
+    }
+    publish_metrics(cost_, "vec");
+    return exec::to_boxed(result, f.result);
+  };
+  auto interp_attempt = [this, &name, &args] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.call_function(name, args);
+      cost_.reference = interp.stats();
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  };
+  std::vector<Rung> rungs;
+  rungs.push_back({"vm", [vm_attempt, this] {
+    return vm_attempt(compiled_.module);
+  }});
+  if (compiled_.module_o0 != nullptr &&
+      compiled_.module_o0 != compiled_.module) {
+    rungs.push_back({"vm-o0", [vm_attempt, this] {
+      return vm_attempt(compiled_.module_o0);
+    }});
   }
-  // The pipeline already bytecode-verified the module at assembly
-  // time; re-verifying on every run would tax the dispatch benches.
-  vm::VM machine(compiled_.module,
-                 {prim_options_, vm_profile_, /*verify=*/false});
-  vl::reset_stats();
-  exec::VValue result;
-  {
-    obs::Span span("run", "run.vm");
-    result = machine.call_function(name, std::move(vargs));
-    cost_.vm_ops = machine.stats();
-    cost_.vector_work = vl::stats();
-    span.counter("elements", cost_.vector_work.element_work);
-    span.counter("segments", cost_.vector_work.segment_work);
-    span.counter("instructions", cost_.vm_ops.instructions);
-    span.counter("calls", cost_.vm_ops.calls);
-  }
-  publish_metrics(cost_, "vm");
-  return exec::to_boxed(result, f.result);
+  rungs.push_back({"exec", exec_attempt});
+  rungs.push_back({"interp", interp_attempt});
+  return run_ladder(std::move(rungs));
 }
 
 Value Session::run_entry_reference() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_checked != nullptr,
                   "session was created without an entry expression");
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  interp::Interpreter interp(compiled_.checked);
-  Value result;
-  {
-    obs::Span span("run", "run.reference");
-    result = interp.eval(compiled_.entry_checked);
-    cost_.reference = interp.stats();
-    span.counter("iterations", cost_.reference.iterations);
-    span.counter("scalar_ops", cost_.reference.scalar_ops);
-    span.counter("calls", cost_.reference.calls);
-  }
-  publish_metrics(cost_, "ref");
-  return result;
+  Rung rung{"interp", [this] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.eval(compiled_.entry_checked);
+      cost_.reference = interp.stats();
+      span.counter("iterations", cost_.reference.iterations);
+      span.counter("scalar_ops", cost_.reference.scalar_ops);
+      span.counter("calls", cost_.reference.calls);
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  }};
+  std::vector<Rung> rungs;
+  rungs.push_back(std::move(rung));
+  return run_ladder(std::move(rungs));
 }
 
 Value Session::run_entry_vector() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
                   "session was created without an entry expression");
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  exec::Executor ex(compiled_.vec, prim_options_);
-  vl::reset_stats();
-  exec::VValue result;
-  {
-    obs::Span span("run", "run.vector");
-    result = ex.eval(compiled_.entry_vec);
-    cost_.vector_ops = ex.stats();
-    cost_.vector_work = vl::stats();
-    span.counter("elements", cost_.vector_work.element_work);
-    span.counter("segments", cost_.vector_work.segment_work);
-    span.counter("prims", cost_.vector_work.primitive_calls);
-    span.counter("calls", cost_.vector_ops.calls);
-  }
-  publish_metrics(cost_, "vec");
-  return exec::to_boxed(result, compiled_.entry_checked->type);
+  auto exec_attempt = [this] {
+    cost_ = RunCost{};
+    exec::Executor ex(compiled_.vec, prim_options_);
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vector");
+      result = ex.eval(compiled_.entry_vec);
+      cost_.vector_ops = ex.stats();
+      cost_.vector_work = vl::stats();
+      span.counter("elements", cost_.vector_work.element_work);
+      span.counter("segments", cost_.vector_work.segment_work);
+      span.counter("prims", cost_.vector_work.primitive_calls);
+      span.counter("calls", cost_.vector_ops.calls);
+    }
+    publish_metrics(cost_, "vec");
+    return exec::to_boxed(result, compiled_.entry_checked->type);
+  };
+  auto interp_attempt = [this] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.eval(compiled_.entry_checked);
+      cost_.reference = interp.stats();
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  };
+  std::vector<Rung> rungs;
+  rungs.push_back({"exec", exec_attempt});
+  rungs.push_back({"interp", interp_attempt});
+  return run_ladder(std::move(rungs));
 }
 
 Value Session::run_entry_vm() {
   PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
                   "session was created without an entry expression");
-  cost_ = RunCost{};
-  RunScope tracing(tracer_);
-  // The pipeline already bytecode-verified the module at assembly
-  // time; re-verifying on every run would tax the dispatch benches.
-  vm::VM machine(compiled_.module,
-                 {prim_options_, vm_profile_, /*verify=*/false});
-  vl::reset_stats();
-  exec::VValue result;
-  {
-    obs::Span span("run", "run.vm");
-    result = machine.eval_entry();
-    cost_.vm_ops = machine.stats();
-    cost_.vector_work = vl::stats();
-    span.counter("elements", cost_.vector_work.element_work);
-    span.counter("segments", cost_.vector_work.segment_work);
-    span.counter("instructions", cost_.vm_ops.instructions);
-    span.counter("calls", cost_.vm_ops.calls);
+  auto vm_attempt = [this](const std::shared_ptr<const vm::Module>& module) {
+    cost_ = RunCost{};
+    // The pipeline already bytecode-verified the module at assembly
+    // time; re-verifying on every run would tax the dispatch benches.
+    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false});
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vm");
+      result = machine.eval_entry();
+      cost_.vm_ops = machine.stats();
+      cost_.vector_work = vl::stats();
+      span.counter("elements", cost_.vector_work.element_work);
+      span.counter("segments", cost_.vector_work.segment_work);
+      span.counter("instructions", cost_.vm_ops.instructions);
+      span.counter("calls", cost_.vm_ops.calls);
+    }
+    publish_metrics(cost_, "vm");
+    return exec::to_boxed(result, compiled_.entry_checked->type);
+  };
+  auto exec_attempt = [this] {
+    cost_ = RunCost{};
+    exec::Executor ex(compiled_.vec, prim_options_);
+    vl::reset_stats();
+    exec::VValue result;
+    {
+      obs::Span span("run", "run.vector");
+      result = ex.eval(compiled_.entry_vec);
+      cost_.vector_ops = ex.stats();
+      cost_.vector_work = vl::stats();
+    }
+    publish_metrics(cost_, "vec");
+    return exec::to_boxed(result, compiled_.entry_checked->type);
+  };
+  auto interp_attempt = [this] {
+    cost_ = RunCost{};
+    interp::Interpreter interp(compiled_.checked);
+    Value result;
+    {
+      obs::Span span("run", "run.reference");
+      result = interp.eval(compiled_.entry_checked);
+      cost_.reference = interp.stats();
+    }
+    publish_metrics(cost_, "ref");
+    return result;
+  };
+  std::vector<Rung> rungs;
+  rungs.push_back({"vm", [vm_attempt, this] {
+    return vm_attempt(compiled_.module);
+  }});
+  if (compiled_.module_o0 != nullptr &&
+      compiled_.module_o0 != compiled_.module) {
+    rungs.push_back({"vm-o0", [vm_attempt, this] {
+      return vm_attempt(compiled_.module_o0);
+    }});
   }
-  publish_metrics(cost_, "vm");
-  return exec::to_boxed(result, compiled_.entry_checked->type);
+  rungs.push_back({"exec", exec_attempt});
+  rungs.push_back({"interp", interp_attempt});
+  return run_ladder(std::move(rungs));
 }
 
 Value parse_value(std::string_view literal) {

@@ -26,10 +26,12 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exec/exec.hpp"
 #include "interp/interp.hpp"
 #include "obs/obs.hpp"
+#include "rt/rt.hpp"
 #include "vl/backend.hpp"
 #include "vm/vm.hpp"
 #include "xform/pipeline.hpp"
@@ -93,6 +95,25 @@ class Session {
   /// tracer globally (obs::set_tracer) before constructing the Session.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Installs a resource budget enforced on subsequent run_* calls
+  /// (resident vl bytes, element-work steps, call depth, deadline).
+  /// Violations raise rt::RuntimeTrap; see docs/ROBUSTNESS.md.
+  void set_budget(const rt::ExecBudget& budget) { budget_ = budget; }
+  [[nodiscard]] const rt::ExecBudget& budget() const { return budget_; }
+
+  /// Enables/disables the graceful-degradation ladder (default on).
+  /// With fallback on, a retryable trap (an injected fault) in the
+  /// optimized VM path retries on the -O0 module, then the tree
+  /// executor, then the reference interpreter; run_vector retries on
+  /// the interpreter. With fallback off, every trap propagates.
+  void set_fallback(bool enabled) { fallback_ = enabled; }
+
+  /// Human-readable record of every degradation (and the final trap, if
+  /// any) taken by the most recent run_* call. Empty for healthy runs.
+  [[nodiscard]] const std::vector<std::string>& last_degradations() const {
+    return degradations_;
+  }
+
   /// All intermediate forms (checked / canonical / flat / vector).
   [[nodiscard]] const xform::Compiled& compiled() const { return compiled_; }
 
@@ -103,13 +124,19 @@ class Session {
   [[nodiscard]] lang::TypePtr result_type(const std::string& name) const;
 
  private:
+  struct Rung;  // one engine attempt of the degradation ladder
+
   const lang::FunDef& checked_fun(const std::string& name) const;
+  interp::Value run_ladder(std::vector<Rung> rungs);
 
   xform::Compiled compiled_;
   exec::PrimOptions prim_options_;
   bool vm_profile_ = false;
   obs::Tracer* tracer_ = nullptr;
   RunCost cost_;
+  rt::ExecBudget budget_;
+  bool fallback_ = true;
+  std::vector<std::string> degradations_;
 };
 
 /// Parses and evaluates a closed P literal/expression (e.g.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/tracer.hpp"
+#include "rt/governor.hpp"
 #include "vl/backend.hpp"
 #include "vl/check.hpp"
 
@@ -39,6 +40,11 @@ class VEval {
   explicit VEval(Executor& host) : host_(host) {}
 
   VValue expr(const ExprPtr& e, Env& env) {
+    // Cooperative governor check per node (cancellation/deadline), plus a
+    // structural-nesting bound so adversarially deep ASTs trap instead of
+    // overrunning the C++ stack.
+    rt::poll("exec");
+    rt::NestingGuard nesting(&host_.eval_depth_, "exec");
     return std::visit(
         [&](const auto& node) { return eval_node(node, e, env); }, e->node);
   }
@@ -52,16 +58,22 @@ class VEval {
     const FunDef* f = it->second;
     PROTEUS_REQUIRE(EvalError, f->params.size() == args.size(),
                     "'" + name + "' called with wrong argument count");
-    if (++host_.call_depth_ > kMaxCallDepth) {
+    if (++host_.call_depth_ > rt::depth_limit()) {
       --host_.call_depth_;
-      throw EvalError("call depth limit exceeded in '" + name + "'");
+      rt::raise(rt::Trap::kDepth,
+                "call depth limit exceeded in '" + name + "'", "exec");
     }
     host_.stats_.calls += 1;
     Env env;
     for (std::size_t i = 0; i < args.size(); ++i) {
       env.push(f->params[i].name, args[i]);
     }
+    // Nesting is per function body: the C++ stack a call burns is bounded
+    // by call_depth * per-body nesting, and the call depth has its own
+    // (tested) ceiling.
+    const int outer_nesting = std::exchange(host_.eval_depth_, 0);
     VValue result = expr(f->body, env);
+    host_.eval_depth_ = outer_nesting;
     --host_.call_depth_;
     return result;
   }

@@ -28,10 +28,9 @@ struct ExecStats {
   std::map<lang::Prim, std::uint64_t> per_prim;
 };
 
-/// Maximum user-level call depth (flattened recursion halves frames, so
-/// legitimate depth is O(log data) — a runaway indicates a transformation
-/// bug rather than deep data).
-inline constexpr int kMaxCallDepth = 8000;
+// Call depth and per-expression nesting are bounded by the execution
+// governor (rt::depth_limit() / rt::nesting_limit()); a runaway raises
+// rt::RuntimeTrap (T003) instead of overrunning the C++ stack.
 
 class Executor {
  public:
@@ -58,6 +57,7 @@ class Executor {
   PrimOptions options_;
   ExecStats stats_;
   int call_depth_ = 0;
+  int eval_depth_ = 0;  ///< structural recursion within one function body
 };
 
 }  // namespace proteus::exec

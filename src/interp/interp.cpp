@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "rt/governor.hpp"
 #include "vl/check.hpp"
 
 namespace proteus::interp {
@@ -52,12 +53,17 @@ Int checked_index(Int i, Size n) {
 
 class Eval {
  public:
-  Eval(Interpreter& host, const lang::Program& program, InterpStats& stats,
-       int& call_depth)
-      : host_(host), program_(program), stats_(stats),
-        call_depth_(call_depth) {}
+  Eval(const lang::Program& program, InterpStats& stats, int& call_depth,
+       int& eval_depth)
+      : program_(program), stats_(stats), call_depth_(call_depth),
+        eval_depth_(eval_depth) {}
 
   Value expr(const ExprPtr& e, Env& env) {
+    // Cooperative governor check per node (cancellation/deadline), plus a
+    // structural-nesting bound so adversarially deep ASTs trap instead of
+    // overrunning the C++ stack.
+    rt::poll("interp");
+    rt::NestingGuard nesting(&eval_depth_, "interp");
     return std::visit([&](const auto& node) { return eval_node(node, e, env); },
                       e->node);
   }
@@ -69,17 +75,22 @@ class Eval {
       eval_fail("'" + name + "' expects " + std::to_string(f->params.size()) +
                 " arguments, got " + std::to_string(args.size()));
     }
-    if (++call_depth_ > kMaxCallDepth) {
+    if (++call_depth_ > rt::depth_limit()) {
       --call_depth_;
-      eval_fail("call depth limit exceeded in '" + name +
-                "' (runaway recursion?)");
+      rt::raise(rt::Trap::kDepth, "call depth limit exceeded in '" + name +
+                                      "' (runaway recursion?)",
+                "interp");
     }
     stats_.calls += 1;
     Env env;
     for (std::size_t i = 0; i < args.size(); ++i) {
       env.push(f->params[i].name, args[i]);
     }
+    // Nesting is per function body (see exec.cpp: the C++ stack burned is
+    // bounded by call_depth * per-body nesting).
+    const int outer_nesting = std::exchange(eval_depth_, 0);
     Value result = expr(f->body, env);
+    eval_depth_ = outer_nesting;
     --call_depth_;
     return result;
   }
@@ -579,22 +590,22 @@ class Eval {
     return false;
   }
 
-  [[maybe_unused]] Interpreter& host_;
   const lang::Program& program_;
   InterpStats& stats_;
   int& call_depth_;
+  int& eval_depth_;
 };
 
 }  // namespace
 
 Value Interpreter::call_function(const std::string& name,
                                  const ValueList& args) {
-  Eval e(*this, program_, stats_, call_depth_);
+  Eval e(program_, stats_, call_depth_, eval_depth_);
   return e.call(name, args);
 }
 
 Value Interpreter::eval(const lang::ExprPtr& expr) {
-  Eval e(*this, program_, stats_, call_depth_);
+  Eval e(program_, stats_, call_depth_, eval_depth_);
   Env env;
   return e.expr(expr, env);
 }

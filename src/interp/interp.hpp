@@ -32,9 +32,10 @@ struct InterpStats {
   std::uint64_t calls = 0;        ///< user-function invocations
 };
 
-/// Maximum user-level call depth before the interpreter reports runaway
-/// recursion (keeps faulty programs from overrunning the C++ stack).
-inline constexpr int kMaxCallDepth = 8000;
+// Call depth and per-expression nesting are bounded by the execution
+// governor (rt::depth_limit() / rt::nesting_limit()); runaway recursion
+// and adversarially deep ASTs raise rt::RuntimeTrap (T003) instead of
+// overrunning the C++ stack.
 
 class Interpreter {
  public:
@@ -56,6 +57,7 @@ class Interpreter {
   const lang::Program& program_;
   InterpStats stats_;
   int call_depth_ = 0;
+  int eval_depth_ = 0;  ///< structural recursion within one function body
 };
 
 }  // namespace proteus::interp

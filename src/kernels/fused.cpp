@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "rt/governor.hpp"
 #include "vl/kernel.hpp"
 #include "vl/vl.hpp"
 
@@ -509,20 +510,31 @@ VValue eval_fused(const FusedExpr& e, std::vector<VValue> inputs) {
   for (const std::size_t k : interior) plan[k].dst_off = scratch_off[k];
 
   const Size n_blocks = n == 0 ? 0 : (n + kBlock - 1) / kBlock;
+  // Governor check points: throwing across an OpenMP region would
+  // terminate the process, so inside the parallel loop threads only
+  // *observe* a deferred trip and skip their remaining blocks; the
+  // serial polls before/after the region raise the trap.
+  rt::poll("fused");
 #ifdef _OPENMP
   if (vl::detail::use_threads(n)) {
 #pragma omp parallel
     {
       std::vector<std::byte> arena(arena_bytes);
 #pragma omp for schedule(static)
-      for (Size b = 0; b < n_blocks; ++b) run_block(b * kBlock, arena.data());
+      for (Size b = 0; b < n_blocks; ++b) {
+        if (!rt::tripped()) run_block(b * kBlock, arena.data());
+      }
     }
   } else
 #endif
   {
     std::vector<std::byte> arena(arena_bytes);
-    for (Size b = 0; b < n_blocks; ++b) run_block(b * kBlock, arena.data());
+    for (Size b = 0; b < n_blocks; ++b) {
+      rt::poll("fused");
+      run_block(b * kBlock, arena.data());
+    }
   }
+  rt::poll("fused");
 
   switch (out_kind) {
     case K::kInt: return VValue::seq(Array::ints(std::move(out_i)));

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "rt/governor.hpp"
 #include "vl/vl.hpp"
 
 namespace proteus::kernels {
@@ -442,6 +443,7 @@ Array reduce_1(Prim op, const Array& v) {
 // --- depth-0 entry ---------------------------------------------------------------
 
 VValue apply_prim0(Prim op, const std::vector<VValue>& args) {
+  rt::poll("kernel");  // cooperative check for direct kernel-table callers
   switch (op) {
     case Prim::kAdd:
     case Prim::kSub:
@@ -573,6 +575,7 @@ VValue apply_prim0(Prim op, const std::vector<VValue>& args) {
 VValue apply_prim1(Prim op, const std::vector<VValue>& args,
                    const std::vector<std::uint8_t>& lifted,
                    const PrimOptions& options) {
+  rt::poll("kernel");  // cooperative check for direct kernel-table callers
   auto is_lifted = [&](std::size_t i) {
     return lifted.empty() || lifted[i] != 0;
   };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "lang/lexer.hpp"
+#include "rt/governor.hpp"
 #include "vl/check.hpp"
 
 namespace proteus::lang {
@@ -71,6 +72,9 @@ class Parser {
   // --- types -----------------------------------------------------------------
 
   TypePtr type() {
+    // Recursive descent mirrors source nesting; bound it so adversarially
+    // deep inputs trap (T003) instead of overrunning the C++ stack.
+    rt::NestingGuard nesting(&depth_, "parser");
     if (at(Tok::kIdent)) {
       const std::string& name = peek().text;
       if (name == "int") {
@@ -145,6 +149,8 @@ class Parser {
   // --- expressions -----------------------------------------------------------
 
   ExprPtr expr() {
+    // Same stack-depth bound as type(): parse depth tracks source nesting.
+    rt::NestingGuard nesting(&depth_, "parser");
     SourceLoc loc = peek().loc;
     if (at(Tok::kFun)) return lambda(loc);
     if (accept(Tok::kLet)) {
@@ -502,6 +508,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< current grammar-recursion depth (expr/type)
 };
 
 }  // namespace

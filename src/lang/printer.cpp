@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "rt/governor.hpp"
+
 namespace proteus::lang {
 
 namespace {
@@ -52,6 +54,9 @@ class Printer {
 
  private:
   void render(const ExprPtr& e) {
+    // Rendering recurses with the AST; deep (possibly synthesized) trees
+    // trap (T003) rather than overrun the C++ stack mid-print.
+    rt::NestingGuard nesting(&depth_, "printer");
     std::visit([&](const auto& node) { render_node(node, e); }, e->node);
   }
 
@@ -243,6 +248,7 @@ class Printer {
   }
 
   std::ostringstream os_;
+  int depth_ = 0;  ///< current AST-recursion depth
 };
 
 }  // namespace

@@ -1,0 +1,117 @@
+#include "rt/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "rt/governor.hpp"
+
+namespace proteus::rt {
+
+namespace {
+
+// Live countdowns. Signed so a racing extra decrement past zero (two
+// threads observing the same armed count) is harmless: only the exact
+// transition 1 -> 0 fires.
+std::atomic<std::int64_t> g_alloc{0};
+std::atomic<std::int64_t> g_kernel{0};
+std::atomic<std::int64_t> g_opt{0};
+
+bool countdown(std::atomic<std::int64_t>& c) noexcept {
+  if (c.load(std::memory_order_relaxed) <= 0) return false;
+  return c.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+std::uint64_t remaining(const std::atomic<std::int64_t>& c) noexcept {
+  const std::int64_t v = c.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw Error("bad fault plan '" + spec + "': " + why +
+              " (expected alloc:N,kernel:M,opt:K)");
+}
+
+/// PROTEUS_FAULT in the environment arms a plan for the whole process —
+/// the hook the CI fault-injection matrix rotates seeds through. Parsed
+/// at static initialization like PROTEUS_BACKEND; malformed values are
+/// ignored rather than terminating every binary that links rt.
+[[maybe_unused]] const bool g_env_armed = [] {
+  const char* env = std::getenv("PROTEUS_FAULT");
+  if (env == nullptr || *env == '\0') return false;
+  try {
+    arm_faults(parse_fault_plan(env));
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}();
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string part = spec.substr(pos, end - pos);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) bad_spec(spec, "missing ':' in '" + part + "'");
+    const std::string site = part.substr(0, colon);
+    const std::string count = part.substr(colon + 1);
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      bad_spec(spec, "bad count '" + count + "'");
+    }
+    const std::uint64_t n = std::strtoull(count.c_str(), nullptr, 10);
+    if (site == "alloc") {
+      plan.alloc = n;
+    } else if (site == "kernel") {
+      plan.kernel = n;
+    } else if (site == "opt") {
+      plan.opt = n;
+    } else {
+      bad_spec(spec, "unknown site '" + site + "'");
+    }
+    pos = end + 1;
+  }
+  return plan;
+}
+
+void arm_faults(const FaultPlan& plan) noexcept {
+  g_alloc.store(static_cast<std::int64_t>(plan.alloc),
+                std::memory_order_relaxed);
+  g_kernel.store(static_cast<std::int64_t>(plan.kernel),
+                 std::memory_order_relaxed);
+  g_opt.store(static_cast<std::int64_t>(plan.opt), std::memory_order_relaxed);
+  detail::recompute_active();
+}
+
+void disarm_faults() noexcept { arm_faults(FaultPlan{}); }
+
+bool faults_armed() noexcept {
+  return g_alloc.load(std::memory_order_relaxed) > 0 ||
+         g_kernel.load(std::memory_order_relaxed) > 0 ||
+         g_opt.load(std::memory_order_relaxed) > 0;
+}
+
+FaultPlan pending_faults() noexcept {
+  return FaultPlan{remaining(g_alloc), remaining(g_kernel), remaining(g_opt)};
+}
+
+void maybe_fail_opt() {
+  if (countdown(g_opt)) {
+    detail::recompute_active();
+    raise(Trap::kInjectOpt, trap_reason(Trap::kInjectOpt),
+          "pipeline.optimize-vcode");
+  }
+}
+
+namespace detail {
+
+bool fire_alloc() noexcept { return countdown(g_alloc); }
+bool fire_kernel() noexcept { return countdown(g_kernel); }
+
+}  // namespace detail
+
+}  // namespace proteus::rt

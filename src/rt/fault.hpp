@@ -1,0 +1,64 @@
+// fault.hpp — deterministic fault injection for the runtime governor.
+//
+// A FaultPlan arms countdowns over three injection sites:
+//
+//   alloc:N   fail the Nth vector-byte charge (Vec allocation)    -> T006
+//   kernel:M  fail the Mth vl kernel work charge                  -> T007
+//   opt:K     fail the Kth VCODE optimizer invocation             -> T008
+//
+// Every site is ONE-SHOT: a fired countdown disarms itself, so the
+// degradation ladder's retry (and the rest of a test suite run with
+// PROTEUS_FAULT in the environment) executes clean. Plans come from the
+// PROTEUS_FAULT environment variable (parsed at static initialization,
+// like PROTEUS_BACKEND), the proteusc --inject flag, or arm_faults().
+//
+// The reference interpreter never touches the vl layer, so it is immune
+// to alloc/kernel injection by construction — which is exactly what makes
+// it the ladder's last rung and the exception-safety sweep's oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace proteus::rt {
+
+/// Countdown per injection site; 0 = disarmed, N = fail the Nth event.
+struct FaultPlan {
+  std::uint64_t alloc = 0;
+  std::uint64_t kernel = 0;
+  std::uint64_t opt = 0;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return alloc != 0 || kernel != 0 || opt != 0;
+  }
+};
+
+/// Parses "alloc:N,kernel:M,opt:K" (any subset, any order). Throws
+/// proteus::Error on malformed specs.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Installs the plan's countdowns (replacing any previous plan).
+void arm_faults(const FaultPlan& plan) noexcept;
+
+/// Clears every countdown.
+void disarm_faults() noexcept;
+
+/// True while at least one countdown is live.
+[[nodiscard]] bool faults_armed() noexcept;
+
+/// Remaining countdowns (tests use this to assert one-shot semantics).
+[[nodiscard]] FaultPlan pending_faults() noexcept;
+
+/// Injection site for the VCODE optimizer: throws T008 when the `opt`
+/// countdown fires. Called by the pipeline's optimize-vcode stage, which
+/// degrades to the retained -O0 module on the trap.
+void maybe_fail_opt();
+
+namespace detail {
+/// Countdown checks for the governor's charge points. Return true when
+/// the fault fires (and the site has disarmed itself).
+[[nodiscard]] bool fire_alloc() noexcept;
+[[nodiscard]] bool fire_kernel() noexcept;
+}  // namespace detail
+
+}  // namespace proteus::rt

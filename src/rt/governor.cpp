@@ -1,0 +1,219 @@
+#include "rt/governor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rt/fault.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace proteus::rt {
+
+namespace detail {
+
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_resident{0};
+std::atomic<std::uint64_t> g_steps{0};
+std::atomic<int> g_tripped{0};
+
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Installed budget limits (0 = unlimited). Written only by GovernorScope
+// and the cancel API; read (relaxed) from any thread at the charge/poll
+// fast paths.
+std::atomic<bool> g_budget_installed{false};
+std::atomic<std::uint64_t> g_max_bytes{0};
+std::atomic<std::uint64_t> g_max_steps{0};
+std::atomic<int> g_max_depth{0};
+std::atomic<std::int64_t> g_deadline_ns{0};  // Clock epoch ns; 0 = none
+std::atomic<bool> g_cancel{false};
+
+/// The deadline costs a clock read, so poll_slow only consults it every
+/// kDeadlineStride slow polls (per thread). At VM dispatch rates that is
+/// still sub-millisecond detection latency.
+constexpr int kDeadlineStride = 64;
+
+bool in_parallel_region() noexcept {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Records a trip for later re-raising (first trap wins).
+void defer_trip(Trap t) noexcept {
+  int expected = 0;
+  detail::g_tripped.compare_exchange_strong(expected, static_cast<int>(t),
+                                            std::memory_order_relaxed);
+}
+
+/// Raises the trap in serial context; defers it inside a parallel region
+/// (throwing across an OpenMP region would terminate the process).
+/// `rollback_bytes` undoes a just-made resident charge on the throwing
+/// path, where the unwind abandons the allocation.
+void trip(Trap t, const std::string& detail_msg, const char* site,
+          std::uint64_t rollback_bytes, std::int64_t pc = -1) {
+  if (in_parallel_region()) {
+    defer_trip(t);
+    detail::recompute_active();  // a pending trip keeps the fast paths hot
+    return;
+  }
+  if (rollback_bytes != 0) release_bytes(rollback_bytes);
+  raise(t, detail_msg, site, pc);
+}
+
+}  // namespace
+
+namespace detail {
+
+void recompute_active() noexcept {
+  g_active.store(g_budget_installed.load(std::memory_order_relaxed) ||
+                     g_cancel.load(std::memory_order_relaxed) ||
+                     g_tripped.load(std::memory_order_relaxed) != 0 ||
+                     faults_armed(),
+                 std::memory_order_relaxed);
+}
+
+void charge_bytes_slow(std::uint64_t bytes) {
+  if (fire_alloc()) {
+    recompute_active();  // the one-shot countdown may just have drained
+    trip(Trap::kInjectAlloc, trap_reason(Trap::kInjectAlloc), "vl.alloc",
+         bytes);
+    return;  // deferred inside a parallel region: the allocation proceeds
+  }
+  const std::uint64_t limit = g_max_bytes.load(std::memory_order_relaxed);
+  if (limit != 0 && g_resident.load(std::memory_order_relaxed) > limit) {
+    trip(Trap::kMemory, trap_reason(Trap::kMemory), "vl.alloc", bytes);
+  }
+}
+
+void charge_work_slow(std::uint64_t elements) {
+  if (fire_kernel()) {
+    recompute_active();
+    trip(Trap::kInjectKernel, trap_reason(Trap::kInjectKernel), "vl.kernel",
+         0);
+    return;
+  }
+  const std::uint64_t total =
+      g_steps.fetch_add(elements, std::memory_order_relaxed) + elements;
+  const std::uint64_t limit = g_max_steps.load(std::memory_order_relaxed);
+  if (limit != 0 && total > limit) {
+    trip(Trap::kSteps, trap_reason(Trap::kSteps), "vl.kernel", 0);
+  }
+}
+
+void poll_slow(const char* site, std::int64_t pc) {
+  if (in_parallel_region()) return;  // serial polls re-raise deferrals
+  const int deferred = g_tripped.exchange(0, std::memory_order_relaxed);
+  if (deferred != 0) {
+    recompute_active();
+    const Trap t = static_cast<Trap>(deferred);
+    raise(t, trap_reason(t), site, pc);
+  }
+  if (g_cancel.load(std::memory_order_relaxed)) {
+    raise(Trap::kCancelled, trap_reason(Trap::kCancelled), site, pc);
+  }
+  const std::int64_t deadline = g_deadline_ns.load(std::memory_order_relaxed);
+  if (deadline != 0) {
+    thread_local int countdown = 0;
+    if (--countdown <= 0) {
+      countdown = kDeadlineStride;
+      if (now_ns() > deadline) {
+        raise(Trap::kDeadline, trap_reason(Trap::kDeadline), site, pc);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t resident_bytes() noexcept {
+  return detail::g_resident.load(std::memory_order_relaxed);
+}
+
+std::uint64_t steps() noexcept {
+  return detail::g_steps.load(std::memory_order_relaxed);
+}
+
+void request_cancel() noexcept {
+  g_cancel.store(true, std::memory_order_relaxed);
+  detail::recompute_active();
+}
+
+void clear_cancel() noexcept {
+  g_cancel.store(false, std::memory_order_relaxed);
+  detail::recompute_active();
+}
+
+bool cancel_requested() noexcept {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+int depth_limit() noexcept {
+  const int d = g_max_depth.load(std::memory_order_relaxed);
+  return d > 0 ? d : kDefaultMaxCallDepth;
+}
+
+int nesting_limit() noexcept {
+  const int d = g_max_depth.load(std::memory_order_relaxed);
+  return d > 0 ? std::min(d, kDefaultMaxNesting) : kDefaultMaxNesting;
+}
+
+void raise(Trap trap, const std::string& detail_msg, const char* site,
+           std::int64_t pc) {
+  throw RuntimeTrap(trap, detail_msg, site, resident_bytes(), steps(), pc);
+}
+
+GovernorScope::GovernorScope(const ExecBudget& budget)
+    : previous_{g_max_bytes.load(std::memory_order_relaxed),
+                g_max_steps.load(std::memory_order_relaxed),
+                g_max_depth.load(std::memory_order_relaxed),
+                0},
+      previous_steps_(detail::g_steps.load(std::memory_order_relaxed)),
+      previous_deadline_(g_deadline_ns.load(std::memory_order_relaxed)),
+      previous_tripped_(detail::g_tripped.load(std::memory_order_relaxed)) {
+  g_max_bytes.store(budget.max_resident_bytes, std::memory_order_relaxed);
+  g_max_steps.store(budget.max_steps, std::memory_order_relaxed);
+  g_max_depth.store(budget.max_depth, std::memory_order_relaxed);
+  g_deadline_ns.store(
+      budget.deadline_ms != 0
+          ? now_ns() +
+                static_cast<std::int64_t>(budget.deadline_ms) * 1'000'000
+          : 0,
+      std::memory_order_relaxed);
+  detail::g_steps.store(0, std::memory_order_relaxed);
+  detail::g_tripped.store(0, std::memory_order_relaxed);
+  g_budget_installed.store(budget.limits_anything(),
+                           std::memory_order_relaxed);
+  detail::recompute_active();
+}
+
+GovernorScope::~GovernorScope() {
+  g_max_bytes.store(previous_.max_resident_bytes, std::memory_order_relaxed);
+  g_max_steps.store(previous_.max_steps, std::memory_order_relaxed);
+  g_max_depth.store(previous_.max_depth, std::memory_order_relaxed);
+  g_deadline_ns.store(previous_deadline_, std::memory_order_relaxed);
+  detail::g_steps.store(previous_steps_, std::memory_order_relaxed);
+  detail::g_tripped.store(previous_tripped_, std::memory_order_relaxed);
+  g_budget_installed.store(previous_.max_resident_bytes != 0 ||
+                               previous_.max_steps != 0 ||
+                               previous_.max_depth != 0 ||
+                               previous_deadline_ != 0,
+                           std::memory_order_relaxed);
+  detail::recompute_active();
+}
+
+}  // namespace proteus::rt

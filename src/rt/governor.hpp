@@ -1,0 +1,171 @@
+// governor.hpp — the execution governor: resource budgets, cooperative
+// cancellation, and the charge/poll points every engine shares.
+//
+// The governor is a process-global service (like vl::backend() and
+// obs::tracer()) charged at the vl:: layer, so the serial, OpenMP, and
+// fused execution paths are covered by the same accounting:
+//
+//   * Vec<T> charges its heap bytes on construction/resize and releases
+//     them on destruction -> `resident bytes` tracks live vector memory.
+//   * VectorStats::record() charges element work -> `steps` tracks the
+//     machine-independent work issued since the budget was installed.
+//   * Engines call poll() at their dispatch points (VM per instruction,
+//     tree evaluators per node, fused kernels per block) to observe
+//     cancellation, deadlines, and trips deferred from parallel regions.
+//
+// Fast-path cost with no budget installed, no cancellation requested, and
+// no faults armed is one relaxed atomic load and a predictable branch
+// (see bench_rt_overhead). Violations throw rt::RuntimeTrap — except
+// inside an OpenMP parallel region, where throwing would terminate the
+// process; there the trip is recorded and re-raised at the next serial
+// poll point (cooperative deferral).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rt/trap.hpp"
+
+namespace proteus::rt {
+
+/// Default user-level call depth ceiling (always enforced; flattened
+/// recursion halves frames, so legitimate depth is O(log data)).
+inline constexpr int kDefaultMaxCallDepth = 8000;
+
+/// Default structural-recursion ceiling for the parser, printer, and the
+/// evaluators' per-expression descent. Structural recursion burns far
+/// more C++ stack per level than a user-level call (several parser frames
+/// per nesting level), so it gets a tighter always-on default — deeply
+/// nested inputs trap cleanly instead of overflowing the C++ stack.
+inline constexpr int kDefaultMaxNesting = 2000;
+
+/// Resource budget enforced on a region of execution. Zero means
+/// "unlimited" for every field (max_depth 0 = the default limits above).
+struct ExecBudget {
+  std::uint64_t max_resident_bytes = 0;  ///< live vl vector bytes (T001)
+  std::uint64_t max_steps = 0;           ///< element-work steps (T002)
+  int max_depth = 0;                     ///< call/nesting depth (T003)
+  std::uint64_t deadline_ms = 0;         ///< wall-clock deadline (T004)
+
+  [[nodiscard]] bool limits_anything() const noexcept {
+    return max_resident_bytes != 0 || max_steps != 0 || max_depth != 0 ||
+           deadline_ms != 0;
+  }
+};
+
+namespace detail {
+// `g_active` is the single fast-path gate: true while a budget is
+// installed, a cancellation is pending, or faults are armed.
+extern std::atomic<bool> g_active;
+extern std::atomic<std::uint64_t> g_resident;
+extern std::atomic<std::uint64_t> g_steps;
+extern std::atomic<int> g_tripped;  // deferred Trap code; 0 = none
+
+void charge_bytes_slow(std::uint64_t bytes);
+void charge_work_slow(std::uint64_t elements);
+void poll_slow(const char* site, std::int64_t pc);
+void recompute_active() noexcept;
+}  // namespace detail
+
+/// Charges `bytes` of freshly allocated vector memory against the
+/// resident-byte budget (and the injected-allocation fault plan). On a
+/// serial-context violation the charge is rolled back and RuntimeTrap
+/// thrown — the allocation is abandoned by the unwind.
+inline void charge_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  detail::g_resident.fetch_add(bytes, std::memory_order_relaxed);
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  detail::charge_bytes_slow(bytes);
+}
+
+/// Releases previously charged bytes (vector destruction/shrink).
+inline void release_bytes(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  detail::g_resident.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+/// Charges element work issued by one vl kernel against the step budget
+/// (and the injected-kernel fault plan).
+inline void charge_work(std::uint64_t elements) {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  detail::charge_work_slow(elements);
+}
+
+/// Cooperative check point: observes cancellation, the deadline, and
+/// trips deferred from parallel regions. Engines pass their dispatch
+/// site; the VM also passes the current pc for trap attribution.
+inline void poll(const char* site, std::int64_t pc = -1) {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  detail::poll_slow(site, pc);
+}
+
+/// True while a deferred trip is pending (set inside parallel regions
+/// where throwing is impossible); blockwise kernels use it to skip
+/// remaining work until a serial poll can raise the trap.
+[[nodiscard]] inline bool tripped() noexcept {
+  return detail::g_tripped.load(std::memory_order_relaxed) != 0;
+}
+
+/// Live vl vector bytes currently charged (process-wide, always counted).
+[[nodiscard]] std::uint64_t resident_bytes() noexcept;
+
+/// Element-work steps charged since the current budget was installed.
+[[nodiscard]] std::uint64_t steps() noexcept;
+
+/// Requests cooperative cancellation: the next serial poll() anywhere in
+/// the process raises T005. Sticky until clear_cancel().
+void request_cancel() noexcept;
+void clear_cancel() noexcept;
+[[nodiscard]] bool cancel_requested() noexcept;
+
+/// Current user-level call depth ceiling (budget max_depth, or the
+/// default) and structural-recursion ceiling (min of budget max_depth
+/// and kDefaultMaxNesting).
+[[nodiscard]] int depth_limit() noexcept;
+[[nodiscard]] int nesting_limit() noexcept;
+
+/// Constructs and throws a RuntimeTrap at the given site, capturing the
+/// governor's byte/step counters at the moment of the trip.
+[[noreturn]] void raise(Trap trap, const std::string& detail,
+                        const char* site, std::int64_t pc = -1);
+
+/// RAII guard bounding one level of structural recursion against
+/// nesting_limit(); used by the parser, printer, and both tree
+/// evaluators. Throws T003 when the limit is exceeded.
+class NestingGuard {
+ public:
+  NestingGuard(int* depth, const char* site) : depth_(depth) {
+    if (++*depth_ > nesting_limit()) {
+      --*depth_;
+      raise(Trap::kDepth,
+            std::string("expression nesting limit exceeded in ") + site,
+            site);
+    }
+  }
+  ~NestingGuard() { --*depth_; }
+  NestingGuard(const NestingGuard&) = delete;
+  NestingGuard& operator=(const NestingGuard&) = delete;
+
+ private:
+  int* depth_;
+};
+
+/// RAII scope installing a budget: resets the step counter and any
+/// deferred trip, arms the deadline, and restores the previous governor
+/// state on exit. Resident bytes are NOT reset — they track live
+/// allocations, which outlive any one scope.
+class GovernorScope {
+ public:
+  explicit GovernorScope(const ExecBudget& budget);
+  ~GovernorScope();
+  GovernorScope(const GovernorScope&) = delete;
+  GovernorScope& operator=(const GovernorScope&) = delete;
+
+ private:
+  ExecBudget previous_;
+  std::uint64_t previous_steps_;
+  std::int64_t previous_deadline_;
+  int previous_tripped_;
+};
+
+}  // namespace proteus::rt

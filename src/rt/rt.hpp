@@ -1,0 +1,9 @@
+// rt.hpp — umbrella header for the runtime governor subsystem:
+// trap taxonomy (trap.hpp), execution budgets + cancellation
+// (governor.hpp), and deterministic fault injection (fault.hpp).
+// See docs/ROBUSTNESS.md.
+#pragma once
+
+#include "rt/fault.hpp"
+#include "rt/governor.hpp"
+#include "rt/trap.hpp"

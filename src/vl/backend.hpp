@@ -61,9 +61,14 @@ struct VectorStats {
   std::uint64_t segment_work = 0;     ///< segments touched by segdesc ops
   std::uint64_t buffer_allocs = 0;    ///< output buffers kernels allocated
 
-  void record(Size elements) noexcept {
+  /// Also the governor's kernel charge point: the element count feeds the
+  /// rt:: step budget and the injected-kernel fault plan, so this can
+  /// throw rt::RuntimeTrap when a budget trips or a fault fires (never
+  /// with the governor inactive).
+  void record(Size elements) {
     primitive_calls += 1;
     element_work += static_cast<std::uint64_t>(elements);
+    rt::charge_work(static_cast<std::uint64_t>(elements));
   }
 
   /// Physical (not model-level) cost: one fresh output buffer. Unlike

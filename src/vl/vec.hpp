@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "rt/governor.hpp"
 #include "vl/check.hpp"
 
 namespace proteus::vl {
@@ -37,6 +38,15 @@ using Size = std::int64_t;
 /// Element access through operator[] is bounds-checked (loud failure is
 /// preferred over silent corruption in a research artifact); kernels that
 /// have already validated their inputs iterate over data() spans instead.
+///
+/// Vec is also the governor's allocation charge point: construction,
+/// resize, and reserve charge the buffer's capacity bytes against the
+/// rt:: resident-byte budget (and the injected-allocation fault plan);
+/// destruction releases them. A throwing charge leaves the Vec
+/// unconstructed with the accounting rolled back, so a T001/T006 trap
+/// cannot leak or double-count. push_back growth is deliberately not
+/// re-charged (it is the one hot mutation path; kernels size their
+/// outputs up front via the charged constructors/reserve).
 template <typename T>
 class Vec {
  public:
@@ -45,16 +55,46 @@ class Vec {
   Vec() = default;
 
   /// Uninitialized-by-default construction of `n` zero elements.
-  explicit Vec(Size n) : data_(check_size(n)) {}
+  explicit Vec(Size n) : data_(check_size(n)) { charge(); }
 
-  Vec(Size n, T fill) : data_(check_size(n), fill) {}
+  Vec(Size n, T fill) : data_(check_size(n), fill) { charge(); }
 
-  Vec(std::initializer_list<T> init) : data_(init) {}
+  Vec(std::initializer_list<T> init) : data_(init) { charge(); }
 
-  explicit Vec(std::vector<T> v) : data_(std::move(v)) {}
+  explicit Vec(std::vector<T> v) : data_(std::move(v)) { charge(); }
 
   template <typename It>
-  Vec(It first, It last) : data_(first, last) {}
+  Vec(It first, It last) : data_(first, last) { charge(); }
+
+  Vec(const Vec& other) : data_(other.data_) { charge(); }
+
+  Vec(Vec&& other) noexcept
+      : data_(std::move(other.data_)),
+        charged_(std::exchange(other.charged_, 0)) {}
+
+  Vec& operator=(const Vec& other) {
+    if (this != &other) {
+      Vec copy(other);  // charge first: a trap leaves *this untouched
+      swap(copy);
+    }
+    return *this;
+  }
+
+  Vec& operator=(Vec&& other) noexcept {
+    if (this != &other) {
+      rt::release_bytes(charged_);
+      data_ = std::move(other.data_);
+      charged_ = std::exchange(other.charged_, 0);
+    }
+    return *this;
+  }
+
+  ~Vec() { rt::release_bytes(charged_); }
+
+  void swap(Vec& other) noexcept {
+    data_.swap(other.data_);
+    std::swap(charged_, other.charged_);
+  }
 
   [[nodiscard]] Size size() const { return static_cast<Size>(data_.size()); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
@@ -84,12 +124,22 @@ class Vec {
   [[nodiscard]] auto end() { return data_.end(); }
 
   void push_back(T v) { data_.push_back(v); }
-  void reserve(Size n) { data_.reserve(check_size(n)); }
-  void resize(Size n) { data_.resize(check_size(n)); }
+  void reserve(Size n) {
+    data_.reserve(check_size(n));
+    recharge();
+  }
+  void resize(Size n) {
+    data_.resize(check_size(n));
+    recharge();
+  }
 
   [[nodiscard]] const std::vector<T>& raw() const { return data_; }
 
-  friend bool operator==(const Vec&, const Vec&) = default;
+  /// Equality is over the elements only — the governor's charge tally is
+  /// bookkeeping, not value.
+  friend bool operator==(const Vec& a, const Vec& b) {
+    return a.data_ == b.data_;
+  }
 
  private:
   static std::size_t check_size(Size n) {
@@ -97,7 +147,34 @@ class Vec {
     return static_cast<std::size_t>(n);
   }
 
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return static_cast<std::uint64_t>(data_.capacity()) * sizeof(T);
+  }
+
+  /// First charge after construction. On a trap, charged_ stays 0 and the
+  /// slow path already rolled the accounting back; the unwind frees data_.
+  void charge() {
+    const std::uint64_t bytes = capacity_bytes();
+    if (bytes == 0) return;
+    rt::charge_bytes(bytes);
+    charged_ = bytes;
+  }
+
+  /// Re-sync the charge after a capacity change. A trap on growth leaves
+  /// charged_ at the old (still-released-by-the-destructor) tally.
+  void recharge() {
+    const std::uint64_t bytes = capacity_bytes();
+    if (bytes > charged_) {
+      rt::charge_bytes(bytes - charged_);
+      charged_ = bytes;
+    } else if (bytes < charged_) {
+      rt::release_bytes(charged_ - bytes);
+      charged_ = bytes;
+    }
+  }
+
   std::vector<T> data_;
+  std::uint64_t charged_ = 0;
 };
 
 using IntVec = Vec<Int>;

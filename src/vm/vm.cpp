@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/tracer.hpp"
+#include "rt/governor.hpp"
 #include "vl/backend.hpp"
 #include "vl/check.hpp"
 #include "vm/verify.hpp"
@@ -51,9 +52,10 @@ VValue VM::invoke(std::uint32_t index, std::vector<VValue> args,
   const Function& fn = module_->functions[index];
   PROTEUS_REQUIRE(EvalError, args.size() == fn.n_params,
                   "'" + name + "' called with wrong argument count");
-  if (++call_depth_ > kMaxCallDepth) {
+  if (++call_depth_ > rt::depth_limit()) {
     --call_depth_;
-    throw EvalError("call depth limit exceeded in '" + name + "'");
+    rt::raise(rt::Trap::kDepth, "call depth limit exceeded in '" + name + "'",
+              "vm");
   }
   stats_.calls += 1;
   args.resize(fn.n_regs);
@@ -67,6 +69,10 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
   const bool profile = options_.profile;
   std::size_t pc = 0;
   for (;;) {
+    // One cooperative governor check per instruction: cancellation,
+    // deadline, and trips deferred from parallel kernel regions surface
+    // here with the current pc. Inactive cost is one relaxed load.
+    rt::poll("vm", static_cast<std::int64_t>(pc));
     const Instr& in = code[pc];
     ++pc;
     stats_.instructions += 1;

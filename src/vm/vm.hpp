@@ -52,9 +52,9 @@ struct VMStats {
   std::map<lang::Prim, std::uint64_t> per_prim;
 };
 
-/// Flattened recursion descends O(log data) levels, but a buggy or
-/// adversarial program may not; same guard as the tree executor.
-inline constexpr int kMaxCallDepth = 8000;
+// Call depth is bounded by the execution governor (rt::depth_limit():
+// the installed budget's max_depth, or rt::kDefaultMaxCallDepth) — the
+// same guard as the tree executor, raised as an rt::RuntimeTrap (T003).
 
 /// The bytecode interpreter. Holds the module and per-run statistics.
 class VM {

@@ -6,6 +6,7 @@
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
 #include "obs/tracer.hpp"
+#include "rt/rt.hpp"
 #include "xform/canon.hpp"
 #include "xform/optimize.hpp"
 #include "xform/translate.hpp"
@@ -139,11 +140,27 @@ Compiled compile(std::string_view program_source,
   {
     obs::Span span("compile", "vm-assemble");
     out.module = vm::compile_module(out.vec, out.entry_vec);
+    out.module_o0 = out.module;
   }
 
   if (options.optimize_vcode) {
     obs::Span span("compile", "optimize-vcode");
-    out.module = vm::optimize_module(*out.module, &out.fusion);
+    try {
+      rt::maybe_fail_opt();  // deterministic fault injection (--inject=opt:N)
+      out.module = vm::optimize_module(*out.module, &out.fusion);
+    } catch (const rt::RuntimeTrap& trap) {
+      // First rung of the degradation ladder: a resource trap (or an
+      // injected fault) inside the optimizer is survivable — keep the
+      // already-assembled -O0 module and record the downgrade.
+      out.fusion = vm::FuseStats{};
+      out.module = out.module_o0;
+      out.compile_fallbacks.push_back(
+          std::string("optimize-vcode trap: kept -O0 module: ") +
+          trap.what());
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant("compile", "fallback.opt", trap.what());
+      }
+    }
     span.counter("fused_chains", out.fusion.fused_chains);
     span.counter("fused_prims", out.fusion.fused_prims);
     span.counter("eliminated_instrs", out.fusion.eliminated_instrs);
@@ -153,7 +170,22 @@ Compiled compile(std::string_view program_source,
     obs::Span span("compile", "verify-vcode");
     analysis::Report vcode = vm::verify_module(*out.module);
     span.counter("diagnostics", vcode.size());
-    const bool rejected = !vcode.ok();
+    bool rejected = !vcode.ok();
+    if (rejected && out.module != out.module_o0) {
+      // The *optimized* module failed verification: distrust the
+      // optimizer's output, fall back to -O0, and verify that instead.
+      // Only an -O0 rejection is fatal.
+      out.compile_fallbacks.push_back(
+          "verify-vcode rejected optimized module: kept -O0 module");
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant("compile", "fallback.verify",
+                   "optimized module rejected; reverting to -O0");
+      }
+      out.fusion = vm::FuseStats{};
+      out.module = out.module_o0;
+      vcode = vm::verify_module(*out.module);
+      rejected = !vcode.ok();
+    }
     out.analysis.merge(vcode);
     if (rejected) {
       throw analysis::AnalysisError(std::move(vcode));

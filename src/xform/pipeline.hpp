@@ -69,6 +69,17 @@ struct Compiled {
   /// options.optimize_vcode is on this is the optimized module.
   std::shared_ptr<const vm::Module> module;
 
+  /// The unoptimized (-O0) module, always retained so the runtime's
+  /// degradation ladder can re-run a program without superinstructions
+  /// after a fused-path trap. Pointer-equal to `module` when the
+  /// optimizer was off or fell back (docs/ROBUSTNESS.md).
+  std::shared_ptr<const vm::Module> module_o0;
+
+  /// Human-readable notes for every compile-time degradation taken
+  /// (optimizer trap, verifier rejection of the optimized module).
+  /// Empty on a healthy compile.
+  std::vector<std::string> compile_fallbacks;
+
   /// Tallies of the VCODE optimizer (zero when optimize_vcode is off).
   vm::FuseStats fusion;
 

@@ -55,7 +55,12 @@ TEST(Exec, IndirectCallsResolveExtensions) {
 
 TEST(Exec, CallDepthLimit) {
   Session s("fun loop(n: int): int = loop(n + 1)");
-  EXPECT_THROW((void)s.run_vector("loop", {parse_value("0")}), EvalError);
+  try {
+    (void)s.run_vector("loop", {parse_value("0")});
+    FAIL() << "expected a depth trap";
+  } catch (const rt::RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), rt::Trap::kDepth);
+  }
 }
 
 TEST(Exec, StatsCountPrimsAndCalls) {

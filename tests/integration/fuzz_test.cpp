@@ -198,6 +198,10 @@ Outcome run(Session& s, const std::string& fn, const interp::ValueList& args,
     }
   } catch (const EvalError&) {
     o.threw = true;
+  } catch (const rt::RuntimeTrap&) {
+    // Budget/depth traps from the governor count as "threw" for engine
+    // agreement, same as EvalError (all engines share the limits).
+    o.threw = true;
   }
   return o;
 }

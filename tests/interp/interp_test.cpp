@@ -136,7 +136,12 @@ TEST(Interp, HigherOrderFunctions) {
 
 TEST(Interp, RunawayRecursionIsReported) {
   const char* prog = "fun loop(n: int): int = loop(n + 1)";
-  EXPECT_THROW((void)eval(prog, "loop(0)"), EvalError);
+  try {
+    (void)eval(prog, "loop(0)");
+    FAIL() << "expected a depth trap";
+  } catch (const rt::RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), rt::Trap::kDepth);
+  }
 }
 
 TEST(Interp, StepsMeasureAvailableConcurrency) {

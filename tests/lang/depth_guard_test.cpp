@@ -1,0 +1,84 @@
+// Regression tests for the recursion-depth guards in the parser and
+// printer: adversarially deep inputs must raise a structured T003 trap
+// instead of overrunning the C++ stack (the parser used to segfault on
+// deeply parenthesized input).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "rt/rt.hpp"
+
+namespace proteus::lang {
+namespace {
+
+std::string deep_parens(std::size_t depth) {
+  std::string s;
+  s.reserve(2 * depth + 1);
+  s.append(depth, '(');
+  s += '1';
+  s.append(depth, ')');
+  return s;
+}
+
+TEST(DepthGuard, ParserTraps100kDeepNesting) {
+  // 100k levels of '(' would previously exhaust the C++ stack; now the
+  // structural-nesting governor traps at kDefaultMaxNesting.
+  try {
+    (void)parse_expression(deep_parens(100000));
+    FAIL() << "expected T003";
+  } catch (const rt::RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), rt::Trap::kDepth);
+    EXPECT_EQ(e.site(), "parser");
+  }
+}
+
+TEST(DepthGuard, ParserTrapsDeeplyNestedTypes) {
+  std::string t;
+  t.reserve(100000 * 5 + 3);
+  for (int i = 0; i < 100000; ++i) t += "seq(";
+  t += "int";
+  t.append(100000, ')');
+  try {
+    (void)parse_type(t);
+    FAIL() << "expected T003";
+  } catch (const rt::RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), rt::Trap::kDepth);
+    EXPECT_EQ(e.site(), "parser");
+  }
+}
+
+TEST(DepthGuard, ParserAcceptsReasonableNesting) {
+  ExprPtr e = parse_expression(deep_parens(500));
+  ASSERT_NE(e, nullptr);
+  // A tightened budget lowers the ceiling for the same input.
+  rt::ExecBudget b;
+  b.max_depth = 100;
+  rt::GovernorScope scope(b);
+  EXPECT_THROW((void)parse_expression(deep_parens(500)), rt::RuntimeTrap);
+}
+
+TEST(DepthGuard, PrinterTrapsUnderTightDepthBudget) {
+  // Depth ~100 expression parses fine under the defaults...
+  std::string src;
+  for (int i = 0; i < 100; ++i) src += "let x" + std::to_string(i) + " = 1 in ";
+  src += "0";
+  ExprPtr e = parse_expression(src);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(to_text(e).empty());
+  // ...but rendering it under a depth-30 budget traps in the printer.
+  rt::ExecBudget b;
+  b.max_depth = 30;
+  rt::GovernorScope scope(b);
+  try {
+    (void)to_text(e);
+    FAIL() << "expected T003";
+  } catch (const rt::RuntimeTrap& trap) {
+    EXPECT_EQ(trap.trap(), rt::Trap::kDepth);
+    EXPECT_EQ(trap.site(), "printer");
+  }
+}
+
+}  // namespace
+}  // namespace proteus::lang

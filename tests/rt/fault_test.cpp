@@ -1,0 +1,111 @@
+// Unit tests for deterministic fault injection: spec parsing, arming,
+// one-shot countdown semantics, and the optimizer injection site.
+#include <gtest/gtest.h>
+
+#include "rt/rt.hpp"
+#include "vl/vec.hpp"
+
+namespace proteus::rt {
+namespace {
+
+/// Every test disarms on exit so a failure cannot leak a live countdown
+/// into the rest of the binary.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_faults(); }
+};
+
+TEST_F(FaultTest, ParseFaultPlan) {
+  const FaultPlan p = parse_fault_plan("alloc:3,kernel:7,opt:1");
+  EXPECT_EQ(p.alloc, 3u);
+  EXPECT_EQ(p.kernel, 7u);
+  EXPECT_EQ(p.opt, 1u);
+  EXPECT_TRUE(p.armed());
+
+  const FaultPlan partial = parse_fault_plan("kernel:2");
+  EXPECT_EQ(partial.alloc, 0u);
+  EXPECT_EQ(partial.kernel, 2u);
+
+  EXPECT_FALSE(parse_fault_plan("").armed());
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_fault_plan("bogus:1"), Error);
+  EXPECT_THROW((void)parse_fault_plan("alloc"), Error);
+  EXPECT_THROW((void)parse_fault_plan("alloc:x"), Error);
+  EXPECT_THROW((void)parse_fault_plan("alloc:1,,kernel:2"), Error);
+}
+
+TEST_F(FaultTest, ArmAndDisarm) {
+  EXPECT_FALSE(faults_armed());
+  FaultPlan p;
+  p.alloc = 5;
+  arm_faults(p);
+  EXPECT_TRUE(faults_armed());
+  EXPECT_EQ(pending_faults().alloc, 5u);
+  disarm_faults();
+  EXPECT_FALSE(faults_armed());
+  EXPECT_EQ(pending_faults().alloc, 0u);
+}
+
+TEST_F(FaultTest, AllocFaultFiresOnTheNthChargeThenDisarms) {
+  FaultPlan p;
+  p.alloc = 3;
+  arm_faults(p);
+  vl::Vec<std::int64_t> a(16, std::int64_t{1});  // 1st charge
+  vl::Vec<std::int64_t> b(16, std::int64_t{2});  // 2nd charge
+  EXPECT_EQ(pending_faults().alloc, 1u);
+  try {
+    vl::Vec<std::int64_t> c(16, std::int64_t{3});  // 3rd charge: fires
+    FAIL() << "expected T006";
+  } catch (const RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), Trap::kInjectAlloc);
+    EXPECT_EQ(e.site(), "vl.alloc");
+  }
+  // One-shot: the countdown drained, so the retry (and everything after
+  // it) allocates clean.
+  EXPECT_EQ(pending_faults().alloc, 0u);
+  EXPECT_FALSE(faults_armed());
+  vl::Vec<std::int64_t> retry(16, std::int64_t{3});
+  EXPECT_EQ(retry.size(), 16);
+}
+
+TEST_F(FaultTest, KernelFaultFiresOnWorkCharge) {
+  FaultPlan p;
+  p.kernel = 1;
+  arm_faults(p);
+  try {
+    charge_work(100);
+    FAIL() << "expected T007";
+  } catch (const RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), Trap::kInjectKernel);
+    EXPECT_EQ(e.site(), "vl.kernel");
+  }
+  EXPECT_FALSE(faults_armed());
+  charge_work(100);  // clean after the one-shot fired
+}
+
+TEST_F(FaultTest, OptFaultFiresInMaybeFailOpt) {
+  FaultPlan p;
+  p.opt = 1;
+  arm_faults(p);
+  try {
+    maybe_fail_opt();
+    FAIL() << "expected T008";
+  } catch (const RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), Trap::kInjectOpt);
+  }
+  maybe_fail_opt();  // disarmed now: no throw
+}
+
+TEST_F(FaultTest, UnarmedSitesNeverFire) {
+  FaultPlan p;
+  p.opt = 1;  // only the optimizer site is armed
+  arm_faults(p);
+  vl::Vec<std::int64_t> a(64, std::int64_t{1});
+  charge_work(64);
+  EXPECT_EQ(pending_faults().opt, 1u);
+}
+
+}  // namespace
+}  // namespace proteus::rt

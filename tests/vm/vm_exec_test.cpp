@@ -99,16 +99,19 @@ TEST(VmExec, PerOpcodeProfileIsPopulated) {
 }
 
 TEST(VmExec, ErrorParityWithTreeExecutor) {
-  // Unknown function, wrong arity, and the recursion depth guard must
-  // throw the same EvalError the tree executor throws.
+  // Unknown function and wrong arity must throw the same EvalError the
+  // tree executor throws; runaway recursion now trips the execution
+  // governor's depth budget (rt::RuntimeTrap T003, not retryable — the
+  // degradation ladder must NOT mask it behind a fallback engine).
   Session s("fun spin(n: int): int = spin(n + 1)");
   vm::VM machine(s.compiled().module);
   EXPECT_THROW((void)machine.call_function("nosuch", {}), EvalError);
   EXPECT_THROW((void)machine.call_function("spin", {}), EvalError);
   try {
     (void)s.run_vm("spin", {val("0")});
-    FAIL() << "expected depth-limit EvalError";
-  } catch (const EvalError& e) {
+    FAIL() << "expected depth-limit RuntimeTrap";
+  } catch (const rt::RuntimeTrap& e) {
+    EXPECT_EQ(e.trap(), rt::Trap::kDepth);
     EXPECT_NE(std::string(e.what()).find("call depth limit exceeded"),
               std::string::npos);
   }

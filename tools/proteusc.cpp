@@ -22,18 +22,30 @@
 //                      elementwise chain fusion + dead-move elimination
 //   --naive            disable the Section 4.5 optimizations (ablation)
 //   --backend B        serial (default) | openmp — vl execution policy
+//   --budget-mem N     cap live vl vector memory at N bytes (trap T001)
+//   --budget-steps N   cap element-work steps at N (trap T002)
+//   --budget-depth N   cap call/nesting depth at N (trap T003)
+//   --budget-deadline-ms N  wall-clock deadline per run (trap T004)
+//   --inject SPEC      deterministic fault injection, e.g. alloc:3,kernel:7
+//                      (also via the PROTEUS_FAULT environment variable)
+//   --no-fallback      disable the graceful-degradation ladder: traps
+//                      propagate instead of retrying on a simpler engine
 //
 // Exit codes: 0 success; 1 compile or runtime error; 2 usage error;
-// 3 static analysis / bytecode verification rejected the program.
+// 3 static analysis / bytecode verification rejected the program;
+// 4 resource trap (budget exceeded, cancelled, or injected fault with no
+//   fallback left) — see docs/ROBUSTNESS.md.
 //
 // Examples:
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]'
 //   proteusc examples/programs/sort.p --entry '[k <- [1..5] : sqs(k)]' --dump vec
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]' --engine vm --stats
 //   proteusc sort.p --call quicksort '[3,1,2]' --trace-json t.json --stats=json
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +53,7 @@
 #include "core/proteus.hpp"
 #include "core/report.hpp"
 #include "lang/printer.hpp"
+#include "rt/rt.hpp"
 #include "vm/disasm.hpp"
 #include "vm/verify.hpp"
 
@@ -55,10 +68,15 @@ namespace {
       "                [--analyze[=json]] [--no-verify-vcode] [-O0|-O1]\n"
       "                [--backend serial|openmp] [--stats[=json]]\n"
       "                [--trace-json FILE] [--naive]\n"
+      "                [--budget-mem BYTES] [--budget-steps N]\n"
+      "                [--budget-depth N] [--budget-deadline-ms MS]\n"
+      "                [--inject alloc:N,kernel:M,opt:K] [--no-fallback]\n"
       "\n"
       "exit codes: 0 success; 1 compile or runtime error; 2 usage error;\n"
       "            3 static analysis / bytecode verification rejected the\n"
-      "              program (one line per diagnostic on stderr)\n";
+      "              program (one line per diagnostic on stderr);\n"
+      "            4 resource trap: a --budget-* limit was exceeded or an\n"
+      "              injected fault had no fallback left (docs/ROBUSTNESS.md)\n";
   std::exit(err.empty() ? 0 : 2);
 }
 
@@ -103,6 +121,22 @@ int main(int argc, char** argv) {
   bool naive = false;
   std::string backend = "serial";
   std::string trace_json;
+  proteus::rt::ExecBudget budget;
+  std::string inject;
+  bool fallback = true;
+
+  auto parse_u64 = [](const std::string& text,
+                      const char* what) -> std::uint64_t {
+    try {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return v;
+    } catch (const std::exception&) {
+      usage(std::string(what) + " expects a non-negative integer, got '" +
+            text + "'");
+    }
+  };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -145,6 +179,21 @@ int main(int argc, char** argv) {
       naive = true;
     } else if (a == "--backend") {
       backend = next("--backend");
+    } else if (a == "--budget-mem") {
+      budget.max_resident_bytes = parse_u64(next("--budget-mem"),
+                                            "--budget-mem");
+    } else if (a == "--budget-steps") {
+      budget.max_steps = parse_u64(next("--budget-steps"), "--budget-steps");
+    } else if (a == "--budget-depth") {
+      budget.max_depth =
+          static_cast<int>(parse_u64(next("--budget-depth"), "--budget-depth"));
+    } else if (a == "--budget-deadline-ms") {
+      budget.deadline_ms = parse_u64(next("--budget-deadline-ms"),
+                                     "--budget-deadline-ms");
+    } else if (a == "--inject") {
+      inject = next("--inject");
+    } else if (a == "--no-fallback") {
+      fallback = false;
     } else if (a.rfind("--", 0) == 0) {
       usage("unknown option '" + a + "'");
     } else if (file.empty()) {
@@ -166,6 +215,17 @@ int main(int argc, char** argv) {
   } else if (backend != "serial") {
     usage("--backend must be serial or openmp");
   }
+  if (!inject.empty()) {
+    try {
+      proteus::rt::arm_faults(proteus::rt::parse_fault_plan(inject));
+    } catch (const proteus::Error& e) {
+      usage(e.what());
+    }
+  }
+  // The budget covers compilation too (the parser and printer are
+  // depth-governed; the optimizer can trap under injection) — the
+  // Session re-installs the same budget around each run.
+  proteus::rt::GovernorScope governor(budget);
 
   // One tracer covers compilation (installed before the Session is
   // constructed) and every run; `--dump trace` renders its rule events
@@ -218,6 +278,11 @@ int main(int argc, char** argv) {
 
     proteus::Session session(read_file(file), entry, options);
     if (tracing) session.set_tracer(&tracer);
+    session.set_budget(budget);
+    session.set_fallback(fallback);
+    for (const std::string& note : session.compiled().compile_fallbacks) {
+      std::cerr << "proteusc: [degraded] " << note << '\n';
+    }
 
     if (dump == "trace") {
       // Same event stream as --trace-json, rendered textually: the two
@@ -286,6 +351,9 @@ int main(int argc, char** argv) {
                                : session.run_entry_vector();
       } else {
         usage("nothing to run: give --entry or --call (or --dump)");
+      }
+      for (const std::string& note : session.last_degradations()) {
+        std::cerr << "proteusc: [degraded] " << note << '\n';
       }
       if (stats) {
         if (stats_json) {
@@ -371,6 +439,12 @@ int main(int argc, char** argv) {
     std::cerr << e.report().to_text();
     std::cerr << "proteusc: static analysis rejected the program\n";
     return 3;
+  } catch (const proteus::rt::RuntimeTrap& e) {
+    // A resource budget was exceeded, cancellation was requested, or an
+    // injected fault had no fallback left: a distinct exit code so
+    // harnesses can tell "out of budget" from "broken program".
+    std::cerr << "proteusc: resource trap: " << e.what() << '\n';
+    return 4;
   } catch (const proteus::Error& e) {
     std::cerr << "proteusc: " << e.what() << '\n';
     return 1;
