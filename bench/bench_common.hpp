@@ -134,11 +134,19 @@ class JsonReporter {
   void record(const std::string& workload, std::string_view engine,
               std::int64_t n, std::uint64_t wall_ns,
               const Session& session) {
+    record(workload, engine, n, wall_ns, session.last_cost().metrics);
+  }
+
+  /// For benches whose unit of measurement is not a Session run (e.g.
+  /// bench_serve reports the daemon's serve.* counters instead).
+  void record(const std::string& workload, std::string_view engine,
+              std::int64_t n, std::uint64_t wall_ns,
+              const obs::MetricsRegistry& metrics) {
     std::ostringstream os;
     os << "{\"engine\":\"" << engine << "\",\"backend\":\""
        << backend_name() << "\",\"n\":" << n << ",\"wall_ns\":" << wall_ns
        << ",\"metrics\":";
-    session.last_cost().metrics.write_json(os);
+    metrics.write_json(os);
     os << '}';
     // google-benchmark re-enters the bench function while calibrating the
     // iteration count; keep only the final (longest-running) measurement

@@ -1,0 +1,113 @@
+// bench_serve — the point of the serving daemon, measured: a warm
+// (cache-hit) evaluation request must cost a small fraction of a cold
+// one, because the cold path runs parse -> check -> canonicalize ->
+// flatten -> translate -> assemble -> optimize -> verify and the warm
+// path runs only the VM.
+//
+// Acceptance bar (ISSUE 6): warm-request latency < 10% of cold-compile
+// latency at the same request. BENCH_serve.json reports both as
+// engines "cold" and "warm" plus the concurrent-throughput run
+// ("warm-mt", n = requests served), so the claim is machine-checkable.
+#include "bench_common.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace proteus;
+using namespace proteus::bench;
+
+// Large enough that compilation visibly dominates a single evaluation:
+// several mutually recursive nested-parallel functions (the same shape
+// the Section 6 workloads use), evaluated on a tiny input.
+const char* kProgram = R"(
+  fun quicksort(v: seq(int)): seq(int) =
+    if #v <= 1 then v
+    else
+      let pivot = v[1 + (#v / 2)] in
+      let parts = [p <- [[x <- v | x < pivot : x],
+                         [x <- v | x > pivot : x]] : quicksort(p)] in
+      parts[1] ++ [x <- v | x == pivot : x] ++ parts[2]
+  fun sqs(n: int): seq(int) = [i <- [1 .. n] : i * i]
+  fun total(xs: seq(seq(int))): int = sum([x <- xs : sum(x)])
+  fun smallest(v: seq(int), k: int): seq(int) =
+    [i <- [1 .. k] : quicksort(v)[i]]
+  fun sq(n: int): int = n * n
+)";
+
+const char* kEvalLine =
+    "{\"op\":\"eval\",\"source\":\"fun sq(n: int): int = n * n\","
+    "\"fun\":\"sq\",\"args\":[\"12\"]}";
+
+// The measured request evaluates the CHEAP function of the expensive
+// program: the cold/warm delta is then almost entirely the pipeline the
+// cache skips, not the evaluation both paths share.
+std::string eval_request(int n) {
+  return std::string("{\"op\":\"eval\",\"source\":") +
+         serve::Json(std::string(kProgram)).dump() +
+         ",\"fun\":\"sq\",\"args\":[\"" + std::to_string(n) + "\"]}";
+}
+
+/// Cold request: every iteration gets a FRESH server, so the eval pays
+/// the whole pipeline. This is the denominator of the 10% bar.
+void BM_serve_cold(benchmark::State& state) {
+  const std::string line = eval_request(3);
+  obs::MetricsRegistry last;
+  const std::uint64_t best = best_wall_ns(state, [&] {
+    serve::Server server;
+    benchmark::DoNotOptimize(server.handle_line(line));
+    last = server.metrics();
+  });
+  JsonReporter::instance().record("serve", "cold", state.range(0), best,
+                                  last);
+}
+
+/// Warm request: same server, same request — after the first hit the
+/// cache serves it, so only argument parsing + the VM run remain.
+void BM_serve_warm(benchmark::State& state) {
+  serve::Server server;
+  const std::string line = eval_request(3);
+  benchmark::DoNotOptimize(server.handle_line(line));  // prime the cache
+  const std::uint64_t best = best_wall_ns(state, [&] {
+    benchmark::DoNotOptimize(server.handle_line(line));
+  });
+  JsonReporter::instance().record("serve", "warm", state.range(0), best,
+                                  server.metrics());
+}
+
+/// Concurrent warm throughput: `threads` workers hammer one server with
+/// cache-hitting requests; reported wall_ns is for the WHOLE batch and
+/// n is the number of requests served, so requests/second falls out.
+void BM_serve_warm_concurrent(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPerThread = 50;
+  serve::Server server;
+  benchmark::DoNotOptimize(server.handle_line(kEvalLine));
+  const std::uint64_t best = best_wall_ns(state, [&] {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&server] {
+        for (int i = 0; i < kPerThread; ++i) {
+          benchmark::DoNotOptimize(server.handle_line(kEvalLine));
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  });
+  state.SetItemsProcessed(state.iterations() * threads * kPerThread);
+  JsonReporter::instance().record("serve", "warm-mt", threads * kPerThread,
+                                  best, server.metrics());
+}
+
+BENCHMARK(BM_serve_cold)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_serve_warm)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_serve_warm_concurrent)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

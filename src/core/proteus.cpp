@@ -33,13 +33,23 @@ struct Session::Rung {
 Session::Session(std::string_view program_source,
                  std::string_view entry_source,
                  const xform::PipelineOptions& options)
-    : compiled_(xform::compile(program_source, entry_source, options)) {
+    : compiled_(std::make_shared<const xform::Compiled>(
+          xform::compile(program_source, entry_source, options))) {
+  prim_options_.shared_source_gather =
+      options.flatten.broadcast_invariant_seq_args;
+}
+
+Session::Session(std::shared_ptr<const xform::Compiled> compiled,
+                 const xform::PipelineOptions& options)
+    : compiled_(std::move(compiled)) {
+  PROTEUS_REQUIRE(EvalError, compiled_ != nullptr,
+                  "Session requires a non-null compiled program");
   prim_options_.shared_source_gather =
       options.flatten.broadcast_invariant_seq_args;
 }
 
 const FunDef& Session::checked_fun(const std::string& name) const {
-  const FunDef* f = compiled_.checked.find(name);
+  const FunDef* f = compiled_->checked.find(name);
   PROTEUS_REQUIRE(EvalError, f != nullptr,
                   "session has no function named '" + name + "'");
   return *f;
@@ -94,7 +104,7 @@ Value Session::run_reference(const std::string& name,
                              const ValueList& args) {
   Rung rung{"interp", [this, &name, &args] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
@@ -123,7 +133,7 @@ Value Session::run_vector(const std::string& name, const ValueList& args) {
     for (std::size_t i = 0; i < args.size(); ++i) {
       vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
     }
-    exec::Executor ex(compiled_.vec, prim_options_);
+    exec::Executor ex(compiled_->vec, prim_options_);
     vl::reset_stats();
     exec::VValue result;
     {
@@ -141,7 +151,7 @@ Value Session::run_vector(const std::string& name, const ValueList& args) {
   };
   auto interp_attempt = [this, &name, &args] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
@@ -194,7 +204,7 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
     for (std::size_t i = 0; i < args.size(); ++i) {
       vargs.push_back(exec::from_boxed(args[i], f.params[i].type));
     }
-    exec::Executor ex(compiled_.vec, prim_options_);
+    exec::Executor ex(compiled_->vec, prim_options_);
     vl::reset_stats();
     exec::VValue result;
     {
@@ -208,7 +218,7 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   };
   auto interp_attempt = [this, &name, &args] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
@@ -220,12 +230,12 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
   };
   std::vector<Rung> rungs;
   rungs.push_back({"vm", [vm_attempt, this] {
-    return vm_attempt(compiled_.module);
+    return vm_attempt(compiled_->module);
   }});
-  if (compiled_.module_o0 != nullptr &&
-      compiled_.module_o0 != compiled_.module) {
+  if (compiled_->module_o0 != nullptr &&
+      compiled_->module_o0 != compiled_->module) {
     rungs.push_back({"vm-o0", [vm_attempt, this] {
-      return vm_attempt(compiled_.module_o0);
+      return vm_attempt(compiled_->module_o0);
     }});
   }
   rungs.push_back({"exec", exec_attempt});
@@ -234,15 +244,15 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
 }
 
 Value Session::run_entry_reference() {
-  PROTEUS_REQUIRE(EvalError, compiled_.entry_checked != nullptr,
+  PROTEUS_REQUIRE(EvalError, compiled_->entry_checked != nullptr,
                   "session was created without an entry expression");
   Rung rung{"interp", [this] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
-      result = interp.eval(compiled_.entry_checked);
+      result = interp.eval(compiled_->entry_checked);
       cost_.reference = interp.stats();
       span.counter("iterations", cost_.reference.iterations);
       span.counter("scalar_ops", cost_.reference.scalar_ops);
@@ -257,16 +267,16 @@ Value Session::run_entry_reference() {
 }
 
 Value Session::run_entry_vector() {
-  PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
+  PROTEUS_REQUIRE(EvalError, compiled_->entry_vec != nullptr,
                   "session was created without an entry expression");
   auto exec_attempt = [this] {
     cost_ = RunCost{};
-    exec::Executor ex(compiled_.vec, prim_options_);
+    exec::Executor ex(compiled_->vec, prim_options_);
     vl::reset_stats();
     exec::VValue result;
     {
       obs::Span span("run", "run.vector");
-      result = ex.eval(compiled_.entry_vec);
+      result = ex.eval(compiled_->entry_vec);
       cost_.vector_ops = ex.stats();
       cost_.vector_work = vl::stats();
       span.counter("elements", cost_.vector_work.element_work);
@@ -275,15 +285,15 @@ Value Session::run_entry_vector() {
       span.counter("calls", cost_.vector_ops.calls);
     }
     publish_metrics(cost_, "vec");
-    return exec::to_boxed(result, compiled_.entry_checked->type);
+    return exec::to_boxed(result, compiled_->entry_checked->type);
   };
   auto interp_attempt = [this] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
-      result = interp.eval(compiled_.entry_checked);
+      result = interp.eval(compiled_->entry_checked);
       cost_.reference = interp.stats();
     }
     publish_metrics(cost_, "ref");
@@ -296,7 +306,7 @@ Value Session::run_entry_vector() {
 }
 
 Value Session::run_entry_vm() {
-  PROTEUS_REQUIRE(EvalError, compiled_.entry_vec != nullptr,
+  PROTEUS_REQUIRE(EvalError, compiled_->entry_vec != nullptr,
                   "session was created without an entry expression");
   auto vm_attempt = [this](const std::shared_ptr<const vm::Module>& module) {
     cost_ = RunCost{};
@@ -316,29 +326,29 @@ Value Session::run_entry_vm() {
       span.counter("calls", cost_.vm_ops.calls);
     }
     publish_metrics(cost_, "vm");
-    return exec::to_boxed(result, compiled_.entry_checked->type);
+    return exec::to_boxed(result, compiled_->entry_checked->type);
   };
   auto exec_attempt = [this] {
     cost_ = RunCost{};
-    exec::Executor ex(compiled_.vec, prim_options_);
+    exec::Executor ex(compiled_->vec, prim_options_);
     vl::reset_stats();
     exec::VValue result;
     {
       obs::Span span("run", "run.vector");
-      result = ex.eval(compiled_.entry_vec);
+      result = ex.eval(compiled_->entry_vec);
       cost_.vector_ops = ex.stats();
       cost_.vector_work = vl::stats();
     }
     publish_metrics(cost_, "vec");
-    return exec::to_boxed(result, compiled_.entry_checked->type);
+    return exec::to_boxed(result, compiled_->entry_checked->type);
   };
   auto interp_attempt = [this] {
     cost_ = RunCost{};
-    interp::Interpreter interp(compiled_.checked);
+    interp::Interpreter interp(compiled_->checked);
     Value result;
     {
       obs::Span span("run", "run.reference");
-      result = interp.eval(compiled_.entry_checked);
+      result = interp.eval(compiled_->entry_checked);
       cost_.reference = interp.stats();
     }
     publish_metrics(cost_, "ref");
@@ -346,17 +356,72 @@ Value Session::run_entry_vm() {
   };
   std::vector<Rung> rungs;
   rungs.push_back({"vm", [vm_attempt, this] {
-    return vm_attempt(compiled_.module);
+    return vm_attempt(compiled_->module);
   }});
-  if (compiled_.module_o0 != nullptr &&
-      compiled_.module_o0 != compiled_.module) {
+  if (compiled_->module_o0 != nullptr &&
+      compiled_->module_o0 != compiled_->module) {
     rungs.push_back({"vm-o0", [vm_attempt, this] {
-      return vm_attempt(compiled_.module_o0);
+      return vm_attempt(compiled_->module_o0);
     }});
   }
   rungs.push_back({"exec", exec_attempt});
   rungs.push_back({"interp", interp_attempt});
   return run_ladder(std::move(rungs));
+}
+
+ModuleRunner::ModuleRunner(std::shared_ptr<const vm::Module> module)
+    : module_(std::move(module)) {
+  PROTEUS_REQUIRE(EvalError, module_ != nullptr,
+                  "ModuleRunner requires a non-null module");
+}
+
+Value ModuleRunner::run(const std::string& name, const ValueList& args) {
+  auto it = module_->fn_index.find(name);
+  PROTEUS_REQUIRE(EvalError, it != module_->fn_index.end(),
+                  "module has no function named '" + name + "'");
+  return run_at(it->second, args);
+}
+
+Value ModuleRunner::run_entry() {
+  PROTEUS_REQUIRE(EvalError, module_->entry >= 0,
+                  "module was compiled without an entry expression");
+  return run_at(static_cast<std::uint32_t>(module_->entry), {});
+}
+
+Value ModuleRunner::run_at(std::uint32_t index, const ValueList& args) {
+  const vm::Signature* sig = module_->signature(index);
+  const std::string& name = module_->functions[index].name;
+  PROTEUS_REQUIRE(EvalError, sig != nullptr,
+                  "module carries no calling convention for '" + name +
+                      "' (internal functions are not callable)");
+  PROTEUS_REQUIRE(EvalError, sig->params.size() == args.size(),
+                  "'" + name + "' called with wrong argument count");
+  cost_ = RunCost{};
+  RunScope tracing(tracer_);
+  rt::GovernorScope governor(budget_);
+  std::vector<exec::VValue> vargs;
+  vargs.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    vargs.push_back(exec::from_boxed(args[i], sig->params[i]));
+  }
+  // Verification happened at load (vm::load_module); re-verifying per run
+  // would defeat the point of caching the module.
+  vm::VM machine(module_,
+                 {prim_options_, /*profile=*/false, /*verify=*/false});
+  vl::reset_stats();
+  exec::VValue result;
+  {
+    obs::Span span("run", "run.vm");
+    result = machine.call_function(name, std::move(vargs));
+    cost_.vm_ops = machine.stats();
+    cost_.vector_work = vl::stats();
+    span.counter("elements", cost_.vector_work.element_work);
+    span.counter("segments", cost_.vector_work.segment_work);
+    span.counter("instructions", cost_.vm_ops.instructions);
+    span.counter("calls", cost_.vm_ops.calls);
+  }
+  publish_metrics(cost_, "vm");
+  return exec::to_boxed(result, sig->result);
 }
 
 Value parse_value(std::string_view literal) {

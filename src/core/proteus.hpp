@@ -61,6 +61,14 @@ class Session {
                    std::string_view entry_source = {},
                    const xform::PipelineOptions& options = {});
 
+  /// Wraps an already-compiled program. The compilation is shared, not
+  /// copied: this is the compile-once / evaluate-many constructor the
+  /// serving daemon builds per-request Sessions from — N concurrent
+  /// requests against one cached program cost one compile and N cheap
+  /// Session shells (docs/SERVING.md).
+  explicit Session(std::shared_ptr<const xform::Compiled> compiled,
+                   const xform::PipelineOptions& options = {});
+
   /// Runs function `name` on the reference interpreter.
   [[nodiscard]] interp::Value run_reference(const std::string& name,
                                             const interp::ValueList& args);
@@ -115,7 +123,14 @@ class Session {
   }
 
   /// All intermediate forms (checked / canonical / flat / vector).
-  [[nodiscard]] const xform::Compiled& compiled() const { return compiled_; }
+  [[nodiscard]] const xform::Compiled& compiled() const { return *compiled_; }
+
+  /// The shared compilation itself, e.g. for constructing further
+  /// Sessions over the same program.
+  [[nodiscard]] const std::shared_ptr<const xform::Compiled>& compiled_ptr()
+      const {
+    return compiled_;
+  }
 
   /// Cost counters gathered by the most recent run_* call.
   [[nodiscard]] const RunCost& last_cost() const { return cost_; }
@@ -129,7 +144,7 @@ class Session {
   const lang::FunDef& checked_fun(const std::string& name) const;
   interp::Value run_ladder(std::vector<Rung> rungs);
 
-  xform::Compiled compiled_;
+  std::shared_ptr<const xform::Compiled> compiled_;
   exec::PrimOptions prim_options_;
   bool vm_profile_ = false;
   obs::Tracer* tracer_ = nullptr;
@@ -137,6 +152,45 @@ class Session {
   rt::ExecBudget budget_;
   bool fallback_ = true;
   std::vector<std::string> degradations_;
+};
+
+/// Runs a deserialized VCODE module (vm/module_io.hpp) on the bytecode VM
+/// with no AST in the process: argument/result conversion is guided by the
+/// module's serialized Signatures instead of the checked program. Used by
+/// `proteusc --load-module` and the daemon's on-disk cache hits.
+///
+/// There is deliberately no degradation ladder below the VM here — the
+/// fallback engines re-execute source forms a bare module does not carry —
+/// so resource traps propagate as rt::RuntimeTrap for the caller to
+/// surface (the daemon turns them into structured error replies).
+class ModuleRunner {
+ public:
+  /// `module` must already be verified (vm::load_module does this).
+  explicit ModuleRunner(std::shared_ptr<const vm::Module> module);
+
+  /// Runs function `name`; it must carry a serialized Signature (user
+  /// functions and the entry do; internal `^d` extensions do not).
+  [[nodiscard]] interp::Value run(const std::string& name,
+                                  const interp::ValueList& args);
+
+  /// Runs the module's entry expression.
+  [[nodiscard]] interp::Value run_entry();
+
+  void set_budget(const rt::ExecBudget& budget) { budget_ = budget; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  [[nodiscard]] const vm::Module& module() const { return *module_; }
+  [[nodiscard]] const RunCost& last_cost() const { return cost_; }
+
+ private:
+  [[nodiscard]] interp::Value run_at(std::uint32_t index,
+                                     const interp::ValueList& args);
+
+  std::shared_ptr<const vm::Module> module_;
+  exec::PrimOptions prim_options_;
+  obs::Tracer* tracer_ = nullptr;
+  RunCost cost_;
+  rt::ExecBudget budget_;
 };
 
 /// Parses and evaluates a closed P literal/expression (e.g.

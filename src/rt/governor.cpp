@@ -13,9 +13,10 @@ namespace proteus::rt {
 
 namespace detail {
 
+thread_local GovernorState* t_state = nullptr;
+
 std::atomic<bool> g_active{false};
 std::atomic<std::uint64_t> g_resident{0};
-std::atomic<std::uint64_t> g_steps{0};
 std::atomic<int> g_tripped{0};
 
 }  // namespace detail
@@ -24,14 +25,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Installed budget limits (0 = unlimited). Written only by GovernorScope
-// and the cancel API; read (relaxed) from any thread at the charge/poll
-// fast paths.
-std::atomic<bool> g_budget_installed{false};
-std::atomic<std::uint64_t> g_max_bytes{0};
-std::atomic<std::uint64_t> g_max_steps{0};
-std::atomic<int> g_max_depth{0};
-std::atomic<std::int64_t> g_deadline_ns{0};  // Clock epoch ns; 0 = none
 std::atomic<bool> g_cancel{false};
 
 /// The deadline costs a clock read, so poll_slow only consults it every
@@ -80,8 +73,9 @@ void trip(Trap t, const std::string& detail_msg, const char* site,
 namespace detail {
 
 void recompute_active() noexcept {
-  g_active.store(g_budget_installed.load(std::memory_order_relaxed) ||
-                     g_cancel.load(std::memory_order_relaxed) ||
+  // Per-thread budgets are gated by t_state at the inline fast paths;
+  // g_active covers only the process-global slow-path causes.
+  g_active.store(g_cancel.load(std::memory_order_relaxed) ||
                      g_tripped.load(std::memory_order_relaxed) != 0 ||
                      faults_armed(),
                  std::memory_order_relaxed);
@@ -94,8 +88,10 @@ void charge_bytes_slow(std::uint64_t bytes) {
          bytes);
     return;  // deferred inside a parallel region: the allocation proceeds
   }
-  const std::uint64_t limit = g_max_bytes.load(std::memory_order_relaxed);
-  if (limit != 0 && g_resident.load(std::memory_order_relaxed) > limit) {
+  const GovernorState* st = t_state;
+  if (st == nullptr) return;
+  if (st->max_bytes != 0 &&
+      g_resident.load(std::memory_order_relaxed) > st->max_bytes) {
     trip(Trap::kMemory, trap_reason(Trap::kMemory), "vl.alloc", bytes);
   }
 }
@@ -107,10 +103,10 @@ void charge_work_slow(std::uint64_t elements) {
          0);
     return;
   }
-  const std::uint64_t total =
-      g_steps.fetch_add(elements, std::memory_order_relaxed) + elements;
-  const std::uint64_t limit = g_max_steps.load(std::memory_order_relaxed);
-  if (limit != 0 && total > limit) {
+  GovernorState* st = t_state;
+  if (st == nullptr) return;
+  st->steps += elements;
+  if (st->max_steps != 0 && st->steps > st->max_steps) {
     trip(Trap::kSteps, trap_reason(Trap::kSteps), "vl.kernel", 0);
   }
 }
@@ -126,12 +122,12 @@ void poll_slow(const char* site, std::int64_t pc) {
   if (g_cancel.load(std::memory_order_relaxed)) {
     raise(Trap::kCancelled, trap_reason(Trap::kCancelled), site, pc);
   }
-  const std::int64_t deadline = g_deadline_ns.load(std::memory_order_relaxed);
-  if (deadline != 0) {
+  const GovernorState* st = t_state;
+  if (st != nullptr && st->deadline_ns != 0) {
     thread_local int countdown = 0;
     if (--countdown <= 0) {
       countdown = kDeadlineStride;
-      if (now_ns() > deadline) {
+      if (now_ns() > st->deadline_ns) {
         raise(Trap::kDeadline, trap_reason(Trap::kDeadline), site, pc);
       }
     }
@@ -145,7 +141,8 @@ std::uint64_t resident_bytes() noexcept {
 }
 
 std::uint64_t steps() noexcept {
-  return detail::g_steps.load(std::memory_order_relaxed);
+  const detail::GovernorState* st = detail::t_state;
+  return st != nullptr ? st->steps : 0;
 }
 
 void request_cancel() noexcept {
@@ -163,12 +160,14 @@ bool cancel_requested() noexcept {
 }
 
 int depth_limit() noexcept {
-  const int d = g_max_depth.load(std::memory_order_relaxed);
+  const detail::GovernorState* st = detail::t_state;
+  const int d = st != nullptr ? st->max_depth : 0;
   return d > 0 ? d : kDefaultMaxCallDepth;
 }
 
 int nesting_limit() noexcept {
-  const int d = g_max_depth.load(std::memory_order_relaxed);
+  const detail::GovernorState* st = detail::t_state;
+  const int d = st != nullptr ? st->max_depth : 0;
   return d > 0 ? std::min(d, kDefaultMaxNesting) : kDefaultMaxNesting;
 }
 
@@ -178,41 +177,25 @@ void raise(Trap trap, const std::string& detail_msg, const char* site,
 }
 
 GovernorScope::GovernorScope(const ExecBudget& budget)
-    : previous_{g_max_bytes.load(std::memory_order_relaxed),
-                g_max_steps.load(std::memory_order_relaxed),
-                g_max_depth.load(std::memory_order_relaxed),
-                0},
-      previous_steps_(detail::g_steps.load(std::memory_order_relaxed)),
-      previous_deadline_(g_deadline_ns.load(std::memory_order_relaxed)),
-      previous_tripped_(detail::g_tripped.load(std::memory_order_relaxed)) {
-  g_max_bytes.store(budget.max_resident_bytes, std::memory_order_relaxed);
-  g_max_steps.store(budget.max_steps, std::memory_order_relaxed);
-  g_max_depth.store(budget.max_depth, std::memory_order_relaxed);
-  g_deadline_ns.store(
+    : previous_tripped_(
+          detail::g_tripped.load(std::memory_order_relaxed)) {
+  state_.max_bytes = budget.max_resident_bytes;
+  state_.max_steps = budget.max_steps;
+  state_.max_depth = budget.max_depth;
+  state_.deadline_ns =
       budget.deadline_ms != 0
           ? now_ns() +
                 static_cast<std::int64_t>(budget.deadline_ms) * 1'000'000
-          : 0,
-      std::memory_order_relaxed);
-  detail::g_steps.store(0, std::memory_order_relaxed);
+          : 0;
+  state_.previous = detail::t_state;
+  detail::t_state = &state_;
   detail::g_tripped.store(0, std::memory_order_relaxed);
-  g_budget_installed.store(budget.limits_anything(),
-                           std::memory_order_relaxed);
   detail::recompute_active();
 }
 
 GovernorScope::~GovernorScope() {
-  g_max_bytes.store(previous_.max_resident_bytes, std::memory_order_relaxed);
-  g_max_steps.store(previous_.max_steps, std::memory_order_relaxed);
-  g_max_depth.store(previous_.max_depth, std::memory_order_relaxed);
-  g_deadline_ns.store(previous_deadline_, std::memory_order_relaxed);
-  detail::g_steps.store(previous_steps_, std::memory_order_relaxed);
+  detail::t_state = state_.previous;
   detail::g_tripped.store(previous_tripped_, std::memory_order_relaxed);
-  g_budget_installed.store(previous_.max_resident_bytes != 0 ||
-                               previous_.max_steps != 0 ||
-                               previous_.max_depth != 0 ||
-                               previous_deadline_ != 0,
-                           std::memory_order_relaxed);
   detail::recompute_active();
 }
 

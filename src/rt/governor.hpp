@@ -1,24 +1,39 @@
 // governor.hpp — the execution governor: resource budgets, cooperative
 // cancellation, and the charge/poll points every engine shares.
 //
-// The governor is a process-global service (like vl::backend() and
-// obs::tracer()) charged at the vl:: layer, so the serial, OpenMP, and
-// fused execution paths are covered by the same accounting:
+// Budgets are a *per-thread* service: GovernorScope installs an
+// ExecBudget on the constructing thread (a stack of scopes, so nesting
+// replaces and restores limits exactly), and every charge/poll issued by
+// that thread is checked against it. This is what makes the budget a
+// multi-tenant isolation boundary — a serving worker thread can govern
+// its request without another worker's limits bleeding into it (see
+// src/serve/ and docs/SERVING.md). Process-wide facts stay global:
 //
-//   * Vec<T> charges its heap bytes on construction/resize and releases
-//     them on destruction -> `resident bytes` tracks live vector memory.
-//   * VectorStats::record() charges element work -> `steps` tracks the
-//     machine-independent work issued since the budget was installed.
-//   * Engines call poll() at their dispatch points (VM per instruction,
-//     tree evaluators per node, fused kernels per block) to observe
-//     cancellation, deadlines, and trips deferred from parallel regions.
+//   * resident bytes — Vec<T> charges its heap bytes on construction /
+//     resize and releases them on destruction; live vector memory is a
+//     property of the process, so `resident bytes` is one global counter
+//     (a budget's max_resident_bytes caps the *process* footprint
+//     observed while that thread allocates).
+//   * cooperative cancellation and the fault-injection plans — both are
+//     process-global switches (docs/ROBUSTNESS.md).
 //
-// Fast-path cost with no budget installed, no cancellation requested, and
-// no faults armed is one relaxed atomic load and a predictable branch
-// (see bench_rt_overhead). Violations throw rt::RuntimeTrap — except
-// inside an OpenMP parallel region, where throwing would terminate the
-// process; there the trip is recorded and re-raised at the next serial
-// poll point (cooperative deferral).
+// Charge/poll points are unchanged from the global-governor design:
+//
+//   * Vec<T> charges bytes, VectorStats::record() charges element work,
+//     and engines call poll() at their dispatch points (VM per
+//     instruction, tree evaluators per node, fused kernels per block).
+//   * Every charge and poll runs on the thread driving the evaluation —
+//     the OpenMP kernels record their work *outside* their parallel
+//     regions — so the per-thread budget observes all of a request's
+//     work even on the parallel backend.
+//
+// Fast-path cost with no budget installed on this thread, no cancellation
+// requested, and no faults armed is one thread-local load, one relaxed
+// atomic load, and a predictable branch (see bench_rt_overhead).
+// Violations throw rt::RuntimeTrap — except inside an OpenMP parallel
+// region, where throwing would terminate the process; there the trip is
+// recorded and re-raised at the next serial poll point (cooperative
+// deferral).
 #pragma once
 
 #include <atomic>
@@ -54,17 +69,34 @@ struct ExecBudget {
 };
 
 namespace detail {
-// `g_active` is the single fast-path gate: true while a budget is
-// installed, a cancellation is pending, or faults are armed.
+
+/// The budget installed on one thread by one GovernorScope. Lives inside
+/// the scope object (no heap); `previous` restores the enclosing scope.
+/// Touched only by the owning thread: the kernels charge work before /
+/// after their parallel regions, never inside them.
+struct GovernorState {
+  std::uint64_t max_bytes = 0;
+  std::uint64_t max_steps = 0;
+  int max_depth = 0;
+  std::int64_t deadline_ns = 0;  ///< steady-clock epoch ns; 0 = none
+  std::uint64_t steps = 0;       ///< element work charged in this scope
+  GovernorState* previous = nullptr;
+};
+
+/// The innermost budget of the current thread (null: ungoverned thread).
+extern thread_local GovernorState* t_state;
+
+/// `g_active` gates the process-global slow-path causes: cancellation
+/// pending, faults armed, or a trip deferred from a parallel region.
 extern std::atomic<bool> g_active;
 extern std::atomic<std::uint64_t> g_resident;
-extern std::atomic<std::uint64_t> g_steps;
 extern std::atomic<int> g_tripped;  // deferred Trap code; 0 = none
 
 void charge_bytes_slow(std::uint64_t bytes);
 void charge_work_slow(std::uint64_t elements);
 void poll_slow(const char* site, std::int64_t pc);
 void recompute_active() noexcept;
+
 }  // namespace detail
 
 /// Charges `bytes` of freshly allocated vector memory against the
@@ -74,7 +106,10 @@ void recompute_active() noexcept;
 inline void charge_bytes(std::uint64_t bytes) {
   if (bytes == 0) return;
   detail::g_resident.fetch_add(bytes, std::memory_order_relaxed);
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (detail::t_state == nullptr &&
+      !detail::g_active.load(std::memory_order_relaxed)) {
+    return;
+  }
   detail::charge_bytes_slow(bytes);
 }
 
@@ -87,7 +122,10 @@ inline void release_bytes(std::uint64_t bytes) noexcept {
 /// Charges element work issued by one vl kernel against the step budget
 /// (and the injected-kernel fault plan).
 inline void charge_work(std::uint64_t elements) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (detail::t_state == nullptr &&
+      !detail::g_active.load(std::memory_order_relaxed)) {
+    return;
+  }
   detail::charge_work_slow(elements);
 }
 
@@ -95,7 +133,10 @@ inline void charge_work(std::uint64_t elements) {
 /// trips deferred from parallel regions. Engines pass their dispatch
 /// site; the VM also passes the current pc for trap attribution.
 inline void poll(const char* site, std::int64_t pc = -1) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (detail::t_state == nullptr &&
+      !detail::g_active.load(std::memory_order_relaxed)) {
+    return;
+  }
   detail::poll_slow(site, pc);
 }
 
@@ -109,7 +150,8 @@ inline void poll(const char* site, std::int64_t pc = -1) {
 /// Live vl vector bytes currently charged (process-wide, always counted).
 [[nodiscard]] std::uint64_t resident_bytes() noexcept;
 
-/// Element-work steps charged since the current budget was installed.
+/// Element-work steps charged since this thread's innermost budget scope
+/// was installed (0 on an ungoverned thread).
 [[nodiscard]] std::uint64_t steps() noexcept;
 
 /// Requests cooperative cancellation: the next serial poll() anywhere in
@@ -118,9 +160,9 @@ void request_cancel() noexcept;
 void clear_cancel() noexcept;
 [[nodiscard]] bool cancel_requested() noexcept;
 
-/// Current user-level call depth ceiling (budget max_depth, or the
-/// default) and structural-recursion ceiling (min of budget max_depth
-/// and kDefaultMaxNesting).
+/// Current user-level call depth ceiling (the calling thread's budget
+/// max_depth, or the default) and structural-recursion ceiling (min of
+/// budget max_depth and kDefaultMaxNesting).
 [[nodiscard]] int depth_limit() noexcept;
 [[nodiscard]] int nesting_limit() noexcept;
 
@@ -150,10 +192,12 @@ class NestingGuard {
   int* depth_;
 };
 
-/// RAII scope installing a budget: resets the step counter and any
-/// deferred trip, arms the deadline, and restores the previous governor
-/// state on exit. Resident bytes are NOT reset — they track live
-/// allocations, which outlive any one scope.
+/// RAII scope installing a budget on the calling thread: pushes a fresh
+/// per-thread budget state (step counter at 0, deadline armed) and
+/// restores the enclosing scope on exit. Resident bytes are NOT reset —
+/// they track live allocations, which outlive any one scope. Each scope
+/// also clears (and on exit restores) any parallel-region trip deferral,
+/// so a stale deferral cannot leak into an unrelated execution.
 class GovernorScope {
  public:
   explicit GovernorScope(const ExecBudget& budget);
@@ -162,9 +206,7 @@ class GovernorScope {
   GovernorScope& operator=(const GovernorScope&) = delete;
 
  private:
-  ExecBudget previous_;
-  std::uint64_t previous_steps_;
-  std::int64_t previous_deadline_;
+  detail::GovernorState state_;
   int previous_tripped_;
 };
 

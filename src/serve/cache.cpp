@@ -1,0 +1,75 @@
+#include "serve/cache.hpp"
+
+#include <filesystem>
+
+#include "vm/module_io.hpp"
+
+namespace proteus::serve {
+
+ModuleCache::ModuleCache(std::string disk_dir)
+    : disk_dir_(std::move(disk_dir)) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+    // A failure here degrades to memory-only behaviour: every disk probe
+    // below simply misses. The daemon reports the configured directory at
+    // startup so a typo is visible.
+  }
+}
+
+std::string ModuleCache::image_path(std::uint64_t key) const {
+  return disk_dir_ + "/" + vm::hash_hex(key) + ".pvcm";
+}
+
+std::optional<CacheEntry> ModuleCache::lookup(std::uint64_t key,
+                                              bool verify) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+  }
+  if (disk_dir_.empty()) return std::nullopt;
+  vm::ModuleLoadResult loaded = vm::load_module_file(image_path(key), verify);
+  if (!loaded.ok() || loaded.source_hash != key) {
+    // Unreadable, corrupt, rejected by the verifier, or a hash-renamed
+    // file: all are treated as a miss — the caller recompiles and the
+    // insert below overwrites the bad image.
+    return std::nullopt;
+  }
+  return insert(key, CacheEntry{nullptr, std::move(loaded.module)});
+}
+
+CacheEntry ModuleCache::insert(std::uint64_t key, CacheEntry entry) {
+  bool won = false;
+  CacheEntry surviving;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      it = entries_.emplace(key, std::move(entry)).first;
+      won = true;
+    } else if (it->second.compiled == nullptr && entry.compiled != nullptr) {
+      // First writer wins, with one exception: a full compilation
+      // upgrades a module-only entry rehydrated from disk, so later
+      // evaluations of that source regain the degradation ladder.
+      it->second = std::move(entry);
+      won = true;
+    }
+    surviving = it->second;
+  }
+  if (won && !disk_dir_.empty() && surviving.module != nullptr) {
+    try {
+      vm::write_module_file(image_path(key), *surviving.module, key);
+    } catch (const Error&) {
+      // Disk tier is best-effort; serving continues from memory.
+    }
+  }
+  return surviving;
+}
+
+std::size_t ModuleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace proteus::serve

@@ -1,0 +1,121 @@
+// json.hpp — the minimal JSON value / parser / writer of the serving
+// layer (docs/SERVING.md).
+//
+// proteusd speaks newline-delimited JSON; requests arrive over a socket
+// from arbitrary clients, so the parser treats its input exactly like the
+// module loader treats module images: bounds-checked, depth-limited,
+// never throwing — a malformed request becomes a structured error reply,
+// not a crash. Only what the protocol needs is implemented (no comments,
+// no trailing commas, numbers as int64 when they look integral and double
+// otherwise); the writer always emits valid, escaped, single-line JSON
+// suitable for NDJSON framing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace proteus::serve {
+
+/// A parsed JSON value. Regular value type.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// std::map keeps reply key order deterministic for golden tests.
+  using Object = std::map<std::string, Json>;
+
+  Json() : node_(nullptr) {}
+  Json(std::nullptr_t) : node_(nullptr) {}                    // NOLINT
+  Json(bool b) : node_(b) {}                                  // NOLINT
+  Json(std::int64_t n) : node_(n) {}                          // NOLINT
+  Json(int n) : node_(static_cast<std::int64_t>(n)) {}        // NOLINT
+  Json(std::uint64_t n) : node_(static_cast<std::int64_t>(n)) {}  // NOLINT
+  Json(double d) : node_(d) {}                                // NOLINT
+  Json(std::string s) : node_(std::move(s)) {}                // NOLINT
+  Json(const char* s) : node_(std::string(s)) {}              // NOLINT
+  Json(Array a) : node_(std::move(a)) {}                      // NOLINT
+  Json(Object o) : node_(std::move(o)) {}                     // NOLINT
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(node_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(node_);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(node_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return is_int() || std::holds_alternative<double>(node_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(node_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(node_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(node_);
+  }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    const bool* b = std::get_if<bool>(&node_);
+    return b != nullptr ? *b : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&node_)) return *i;
+    if (const double* d = std::get_if<double>(&node_)) {
+      return static_cast<std::int64_t>(*d);
+    }
+    return fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    if (const double* d = std::get_if<double>(&node_)) return *d;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&node_)) {
+      return static_cast<double>(*i);
+    }
+    return fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string kEmpty;
+    const std::string* s = std::get_if<std::string>(&node_);
+    return s != nullptr ? *s : kEmpty;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    static const Array kEmpty;
+    const Array* a = std::get_if<Array>(&node_);
+    return a != nullptr ? *a : kEmpty;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    static const Object kEmpty;
+    const Object* o = std::get_if<Object>(&node_);
+    return o != nullptr ? *o : kEmpty;
+  }
+
+  /// Member `key` of an object (null Json for non-objects / absent keys).
+  [[nodiscard]] const Json& get(std::string_view key) const;
+
+  /// true when this is an object that has `key`.
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Compact single-line rendering (NDJSON-safe: no raw newlines ever).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  using Node =
+      std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+                   Array, Object>;
+  Node node_;
+};
+
+/// Parses one JSON document. Returns std::nullopt on any syntax error,
+/// depth overflow, or trailing garbage, with a one-line reason in *error
+/// (when non-null). Never throws.
+[[nodiscard]] std::optional<Json> parse_json(std::string_view text,
+                                             std::string* error = nullptr);
+
+}  // namespace proteus::serve

@@ -1,0 +1,549 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/proteus.hpp"
+#include "rt/trap.hpp"
+#include "vm/module_io.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace proteus::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+Json error_value(const char* kind, std::string code, std::string message) {
+  Json::Object e;
+  e["kind"] = kind;
+  if (!code.empty()) e["code"] = std::move(code);
+  e["message"] = std::move(message);
+  return Json(std::move(e));
+}
+
+/// Wraps an error object into a full reply.
+Json error_reply(const Json& request, Json error) {
+  Json::Object reply;
+  if (request.has("id")) reply["id"] = request.get("id");
+  reply["ok"] = false;
+  reply["error"] = std::move(error);
+  return Json(std::move(reply));
+}
+
+/// The request's effective budget: the server ceiling, tightened (never
+/// widened) by the request's own "budget" object — a client cannot
+/// out-budget the daemon it talks to. A budget that is not an object, or
+/// that carries an unknown knob, sets *error instead of being silently
+/// ignored: a typo ("max_depth") must not grant an unlimited run.
+rt::ExecBudget effective_budget(const Json& req,
+                                const rt::ExecBudget& ceiling,
+                                std::string* error) {
+  auto tighten = [](std::uint64_t requested, std::uint64_t max) {
+    if (max == 0) return requested;
+    if (requested == 0 || requested > max) return max;
+    return requested;
+  };
+  const Json& b = req.get("budget");
+  if (!b.is_null()) {
+    if (!b.is_object()) {
+      *error = "\"budget\" must be an object";
+      return ceiling;
+    }
+    for (const auto& [knob, value] : b.as_object()) {
+      if (knob != "bytes" && knob != "steps" && knob != "depth" &&
+          knob != "deadline_ms") {
+        *error = "unknown budget knob \"" + knob +
+                 "\" (expected bytes, steps, depth, deadline_ms)";
+        return ceiling;
+      }
+      if (!value.is_number()) {
+        *error = "budget knob \"" + knob + "\" must be a number";
+        return ceiling;
+      }
+    }
+  }
+  rt::ExecBudget out;
+  out.max_resident_bytes = tighten(
+      static_cast<std::uint64_t>(b.get("bytes").as_int(0)),
+      ceiling.max_resident_bytes);
+  out.max_steps = tighten(static_cast<std::uint64_t>(b.get("steps").as_int(0)),
+                          ceiling.max_steps);
+  out.max_depth = static_cast<int>(
+      tighten(static_cast<std::uint64_t>(b.get("depth").as_int(0)),
+              static_cast<std::uint64_t>(ceiling.max_depth)));
+  out.deadline_ms =
+      tighten(static_cast<std::uint64_t>(b.get("deadline_ms").as_int(0)),
+              ceiling.deadline_ms);
+  return out;
+}
+
+std::optional<std::uint64_t> parse_hex_key(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+/// Callable function names of an entry (for compile replies): the checked
+/// program's functions when the source forms are present, otherwise every
+/// module function that carries a serialized signature.
+Json::Array callable_functions(const CacheEntry& entry) {
+  Json::Array names;
+  if (entry.compiled != nullptr) {
+    for (const lang::FunDef& f : entry.compiled->checked.functions) {
+      names.emplace_back(f.name);
+    }
+    return names;
+  }
+  for (std::uint32_t i = 0; i < entry.module->functions.size(); ++i) {
+    if (entry.module->signature(i) != nullptr &&
+        entry.module->functions[i].name != "__entry") {
+      names.emplace_back(entry.module->functions[i].name);
+    }
+  }
+  return names;
+}
+
+Json metrics_object(const obs::MetricsRegistry& metrics) {
+  Json::Object obj;
+  for (const auto& [name, value] : metrics.all()) obj[name] = value;
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_dir) {}
+
+void Server::count(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.add(name, delta);
+}
+
+obs::MetricsRegistry Server::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  std::string parse_error;
+  std::optional<Json> request = parse_json(line, &parse_error);
+  if (!request.has_value()) {
+    count("serve.requests");
+    count("serve.errors.parse");
+    return error_reply(Json(), error_value("parse", "", parse_error)).dump();
+  }
+  return handle_request(*request).dump();
+}
+
+Json Server::handle_request(const Json& request) {
+  count("serve.requests");
+  const std::string& op = request.get("op").as_string();
+  if (op == "ping") {
+    Json::Object reply;
+    if (request.has("id")) reply["id"] = request.get("id");
+    reply["ok"] = true;
+    reply["pong"] = true;
+    return Json(std::move(reply));
+  }
+  if (op == "compile") return do_compile(request);
+  if (op == "eval") return do_eval(request);
+  if (op == "metrics") {
+    Json reply = do_metrics();
+    // do_metrics has no access to the request envelope; splice the id in.
+    if (request.has("id")) {
+      Json::Object obj = reply.as_object();
+      obj["id"] = request.get("id");
+      return Json(std::move(obj));
+    }
+    return reply;
+  }
+  if (op == "shutdown") {
+    request_stop();
+    Json::Object reply;
+    if (request.has("id")) reply["id"] = request.get("id");
+    reply["ok"] = true;
+    reply["stopping"] = true;
+    return Json(std::move(reply));
+  }
+  count("serve.errors.bad_request");
+  return error_reply(request,
+                     error_value("bad_request", "",
+                                 "unknown op '" + op +
+                                     "' (expected ping/compile/eval/"
+                                     "metrics/shutdown)"));
+}
+
+std::optional<CacheEntry> Server::obtain(const Json& req, std::uint64_t* key,
+                                         bool* cache_hit, Json* error) {
+  *cache_hit = false;
+  const bool has_source = req.get("source").is_string();
+  const std::string& source = req.get("source").as_string();
+  const std::string& entry_expr = req.get("entry").as_string();
+  const std::string tag = vm::options_tag(options_.optimize, options_.verify);
+
+  if (req.has("key")) {
+    std::optional<std::uint64_t> parsed =
+        parse_hex_key(req.get("key").as_string());
+    if (!parsed.has_value()) {
+      *error = error_value("bad_request", "",
+                           "\"key\" must be 16 lowercase hex digits");
+      return std::nullopt;
+    }
+    *key = *parsed;
+  } else if (has_source) {
+    // The entry expression compiles with the program, so it is part of
+    // the identity of the compilation (0x1E = record separator: no P
+    // source can collide across the boundary).
+    *key = vm::source_hash(source + '\x1E' + entry_expr, tag);
+  } else {
+    *error = error_value("bad_request", "",
+                         "request needs \"source\" or \"key\"");
+    return std::nullopt;
+  }
+
+  if (std::optional<CacheEntry> hit = cache_.lookup(*key, options_.verify)) {
+    *cache_hit = true;
+    count("serve.cache.hit");
+    return hit;
+  }
+  count("serve.cache.miss");
+  if (!has_source) {
+    *error = error_value(
+        "unknown_key", "",
+        "key " + vm::hash_hex(*key) +
+            " is not cached here; resend with \"source\"");
+    return std::nullopt;
+  }
+
+  const Clock::time_point start = Clock::now();
+  try {
+    xform::PipelineOptions po;
+    po.optimize_vcode = options_.optimize;
+    po.verify_vcode = options_.verify;
+    auto compiled = std::make_shared<const xform::Compiled>(
+        xform::compile(source, entry_expr, po));
+    count("serve.compile.count");
+    count("serve.compile.wall_ns", elapsed_ns(start));
+    return cache_.insert(*key, CacheEntry{compiled, compiled->module});
+  } catch (const analysis::AnalysisError& e) {
+    std::string code;
+    for (const analysis::Diagnostic& d : e.report().diagnostics()) {
+      if (d.severity == analysis::Severity::kError) {
+        code = d.code;
+        break;
+      }
+    }
+    *error = error_value("compile", code, e.what());
+  } catch (const rt::RuntimeTrap& trap) {
+    // A compile-time trap (e.g. a deadline inherited from an enclosing
+    // scope, or an injected optimizer fault with fallback exhausted).
+    count(std::string("serve.trap.") + trap.code());
+    *error = error_value("trap", trap.code(), trap.what());
+  } catch (const Error& e) {
+    *error = error_value("compile", "", e.what());
+  }
+  count("serve.errors.compile");
+  return std::nullopt;
+}
+
+Json Server::do_compile(const Json& req) {
+  std::uint64_t key = 0;
+  bool cache_hit = false;
+  Json error;
+  std::optional<CacheEntry> entry = obtain(req, &key, &cache_hit, &error);
+  if (!entry.has_value()) return error_reply(req, std::move(error));
+
+  Json::Object reply;
+  if (req.has("id")) reply["id"] = req.get("id");
+  reply["ok"] = true;
+  reply["key"] = vm::hash_hex(key);
+  reply["cached"] = cache_hit;
+  reply["functions"] = callable_functions(*entry);
+  if (entry->compiled != nullptr && !entry->compiled->compile_fallbacks.empty()) {
+    Json::Array fallbacks;
+    for (const std::string& f : entry->compiled->compile_fallbacks) {
+      fallbacks.emplace_back(f);
+    }
+    reply["compile_fallbacks"] = std::move(fallbacks);
+  }
+  return Json(std::move(reply));
+}
+
+Json Server::do_eval(const Json& req) {
+  const Clock::time_point start = Clock::now();
+  std::uint64_t key = 0;
+  bool cache_hit = false;
+  Json error;
+  std::optional<CacheEntry> entry = obtain(req, &key, &cache_hit, &error);
+  if (!entry.has_value()) return error_reply(req, std::move(error));
+
+  const bool has_fun = req.get("fun").is_string();
+  const std::string& fun = req.get("fun").as_string();
+  if (!has_fun && !req.get("entry").is_string() &&
+      !(entry->compiled == nullptr && entry->module->entry >= 0)) {
+    count("serve.errors.bad_request");
+    return error_reply(req, error_value("bad_request", "",
+                                        "eval needs \"fun\" or \"entry\""));
+  }
+
+  // Argument literals parse OUTSIDE the governor scope of the run (they
+  // are request plumbing, not program work) but still under try: a bad
+  // literal is the client's error, reported structurally.
+  std::string budget_error;
+  const rt::ExecBudget budget =
+      effective_budget(req, options_.max_budget, &budget_error);
+  if (!budget_error.empty()) {
+    count("serve.errors.bad_request");
+    return error_reply(req, error_value("bad_request", "", budget_error));
+  }
+  try {
+    interp::ValueList args;
+    for (const Json& a : req.get("args").as_array()) {
+      if (!a.is_string()) {
+        count("serve.errors.bad_request");
+        return error_reply(
+            req, error_value("bad_request", "",
+                             "\"args\" must be P literals as strings"));
+      }
+      args.push_back(parse_value(a.as_string()));
+    }
+
+    interp::Value result;
+    obs::MetricsRegistry run_metrics;
+    Json degradations;
+    std::string engine = "vm";
+    if (entry->compiled != nullptr) {
+      Session session(entry->compiled);
+      session.set_budget(budget);
+      result = has_fun ? session.run_vm(fun, args) : session.run_entry_vm();
+      run_metrics = session.last_cost().metrics;
+      if (!session.last_degradations().empty()) {
+        Json::Array lines;
+        for (const std::string& d : session.last_degradations()) {
+          lines.emplace_back(d);
+        }
+        degradations = Json(std::move(lines));
+      }
+    } else {
+      // Disk-rehydrated module: no source forms in this process, so the
+      // run is VM-only, driven by the module's serialized signatures.
+      ModuleRunner runner(entry->module);
+      runner.set_budget(budget);
+      result = has_fun ? runner.run(fun, args) : runner.run_entry();
+      run_metrics = runner.last_cost().metrics;
+      engine = "vm-module";
+    }
+
+    count("serve.eval.count");
+    if (cache_hit) count("serve.eval.warm");
+    count("serve.eval.wall_ns", elapsed_ns(start));
+
+    Json::Object reply;
+    if (req.has("id")) reply["id"] = req.get("id");
+    reply["ok"] = true;
+    reply["key"] = vm::hash_hex(key);
+    reply["cached"] = cache_hit;
+    reply["engine"] = engine;
+    reply["result"] = interp::to_text(result);
+    reply["metrics"] = metrics_object(run_metrics);
+    if (!degradations.is_null()) reply["degradations"] = degradations;
+    return Json(std::move(reply));
+  } catch (const rt::RuntimeTrap& trap) {
+    // The request exhausted ITS budget; the daemon is healthy and the
+    // reply says exactly what tripped (docs/ROBUSTNESS.md trap table).
+    count(std::string("serve.trap.") + trap.code());
+    count("serve.errors.trap");
+    Json::Object e;
+    e["kind"] = "trap";
+    e["code"] = trap.code();
+    e["message"] = trap.what();
+    e["site"] = trap.site();
+    e["bytes_at_trip"] = trap.bytes_at_trip();
+    e["steps_at_trip"] = trap.steps_at_trip();
+    return error_reply(req, Json(std::move(e)));
+  } catch (const SyntaxError& e) {
+    count("serve.errors.bad_request");
+    return error_reply(req, error_value("bad_request", "",
+                                        std::string("bad argument literal: ") +
+                                            e.what()));
+  } catch (const TypeError& e) {
+    count("serve.errors.bad_request");
+    return error_reply(req, error_value("bad_request", "",
+                                        std::string("bad argument literal: ") +
+                                            e.what()));
+  } catch (const Error& e) {
+    count("serve.errors.runtime");
+    return error_reply(req, error_value("runtime", "", e.what()));
+  }
+}
+
+Json Server::do_metrics() {
+  Json::Object reply;
+  reply["ok"] = true;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    reply["metrics"] = metrics_object(metrics_);
+  }
+  reply["cache_entries"] = static_cast<std::uint64_t>(cache_.size());
+  return Json(std::move(reply));
+}
+
+int Server::serve_stdio(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!stopping() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << "\n" << std::flush;
+  }
+  return 0;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+/// write(2) until done; false on a closed/broken connection.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int Server::serve_tcp(const std::string& host, int port,
+                      std::ostream& announce) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return 1;
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    return 1;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  announce << "proteusd listening on " << ntohs(bound.sin_port) << "\n"
+           << std::flush;
+
+  // Connection queue + worker pool. Workers own one connection at a time
+  // and call handle_line per request line (handle_line is thread-safe).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> pending;
+  auto worker = [this, &mu, &cv, &pending] {
+    for (;;) {
+      int fd = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || stopping(); });
+        if (pending.empty()) return;
+        fd = pending.front();
+        pending.pop_front();
+      }
+      std::string buffer;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl = 0;
+        bool closed = false;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          const std::string line = buffer.substr(0, nl);
+          buffer.erase(0, nl + 1);
+          if (line.empty()) continue;
+          if (!write_all(fd, handle_line(line) + "\n")) {
+            closed = true;
+            break;
+          }
+        }
+        if (closed || stopping()) break;
+      }
+      ::close(fd);
+      if (stopping()) cv.notify_all();
+    }
+  };
+  const int n_workers = options_.workers > 0 ? options_.workers : 1;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) workers.emplace_back(worker);
+
+  while (!stopping()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // re-check stop 5x/second
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(conn);
+    }
+    cv.notify_one();
+  }
+
+  ::close(listen_fd);
+  cv.notify_all();
+  for (std::thread& t : workers) t.join();
+  {
+    // Connections still queued at shutdown are closed unserved.
+    std::lock_guard<std::mutex> lock(mu);
+    for (int fd : pending) ::close(fd);
+  }
+  return 0;
+}
+
+#else  // _WIN32
+
+int Server::serve_tcp(const std::string&, int, std::ostream&) {
+  return 1;  // TCP transport is POSIX-only; use --stdio.
+}
+
+#endif
+
+}  // namespace proteus::serve

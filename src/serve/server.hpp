@@ -1,0 +1,115 @@
+// server.hpp — proteusd's request engine: compile-once / evaluate-many
+// serving of P programs over newline-delimited JSON (docs/SERVING.md).
+//
+// One Server owns one ModuleCache and one metrics aggregate; transports
+// are thin shells around `handle_line` (one NDJSON request in, one NDJSON
+// reply out):
+//
+//   * serve_stdio — single-threaded stdin/stdout loop (`proteusd
+//     --stdio`): what the CI smoke job and the tests drive.
+//   * serve_tcp — a listener plus a small worker pool; each worker owns
+//     one connection at a time and calls handle_line per request line.
+//
+// handle_line is fully thread-safe and is also the unit the concurrency
+// tests hammer directly (no sockets needed): the cache is mutex-guarded,
+// metrics go through a mutex-guarded MetricsRegistry (the registry itself
+// is a plain map), and every evaluation runs inside its own
+// rt::GovernorScope — per-request budgets on the worker's thread, traps
+// returned as structured {"ok":false,"error":{...}} replies while the
+// daemon keeps serving (the per-thread governor refactor in
+// rt/governor.hpp is what makes budgets request-local).
+//
+// Protocol (one JSON object per line; full schema in docs/SERVING.md):
+//
+//   {"op":"ping"}
+//   {"op":"compile","source":"fun f(...)...","entry":"f(3)"?}
+//   {"op":"eval","source":...|"key":"<16 hex>","fun":"f","args":["[1,2]"],
+//    "budget":{"steps":..,"bytes":..,"depth":..,"deadline_ms":..}?}
+//   {"op":"eval","source":...,"entry":"f(3)"}        (entry evaluation)
+//   {"op":"metrics"}   {"op":"shutdown"}
+//
+// Every request may carry an "id", echoed verbatim in the reply.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "rt/governor.hpp"
+#include "serve/cache.hpp"
+#include "serve/json.hpp"
+
+namespace proteus::serve {
+
+struct ServerOptions {
+  /// Run the VCODE optimizer on compiled programs (proteusd --no-optimize).
+  bool optimize = true;
+  /// Bytecode-verify assembled and disk-loaded modules (--no-verify).
+  bool verify = true;
+  /// Persistent module-cache directory; empty = in-memory only.
+  std::string cache_dir;
+  /// TCP worker threads (ignored by --stdio).
+  int workers = 2;
+  /// Ceiling applied to every request. A request's own "budget" object
+  /// may only tighten these (a client cannot out-budget the daemon).
+  rt::ExecBudget max_budget;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Handles one NDJSON request line, returns the reply line (without the
+  /// trailing newline). Never throws; thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Structured form of handle_line for in-process callers/tests.
+  [[nodiscard]] Json handle_request(const Json& request);
+
+  /// Reads request lines from `in` until EOF or a shutdown request,
+  /// writing one reply line per request to `out`. Returns 0 on a clean
+  /// finish.
+  int serve_stdio(std::istream& in, std::ostream& out);
+
+  /// Binds `host:port` (port 0 picks a free port), announces
+  /// "proteusd listening on <port>" on `announce`, then serves until a
+  /// shutdown request. Returns 0 on a clean finish, 1 on socket failure.
+  int serve_tcp(const std::string& host, int port, std::ostream& announce);
+
+  /// Makes the transports wind down after the in-flight request.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the serve.* counters (docs/OBSERVABILITY.md).
+  [[nodiscard]] obs::MetricsRegistry metrics() const;
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] ModuleCache& cache() { return cache_; }
+
+ private:
+  [[nodiscard]] Json do_compile(const Json& req);
+  [[nodiscard]] Json do_eval(const Json& req);
+  [[nodiscard]] Json do_metrics();
+
+  /// Compiles (or cache-hits) the program of `req`; on failure fills
+  /// `*error` with a structured error object and returns nullopt.
+  [[nodiscard]] std::optional<CacheEntry> obtain(const Json& req,
+                                                 std::uint64_t* key,
+                                                 bool* cache_hit, Json* error);
+
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  ServerOptions options_;
+  ModuleCache cache_;
+  mutable std::mutex metrics_mu_;
+  obs::MetricsRegistry metrics_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace proteus::serve

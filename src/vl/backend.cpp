@@ -21,7 +21,6 @@ Backend initial_backend() noexcept {
 }
 
 Backend g_backend = initial_backend();
-VectorStats g_stats;
 
 }  // namespace
 
@@ -52,8 +51,14 @@ int backend_threads() noexcept {
 #endif
 }
 
-VectorStats& stats() noexcept { return g_stats; }
+VectorStats& stats() noexcept {
+  // Per-thread: the kernels record their costs on the thread driving the
+  // evaluation (outside their parallel regions), so concurrent serving
+  // workers each observe exactly their own request's work (src/serve/).
+  thread_local VectorStats t_stats;
+  return t_stats;
+}
 
-void reset_stats() noexcept { g_stats = VectorStats{}; }
+void reset_stats() noexcept { stats() = VectorStats{}; }
 
 }  // namespace proteus::vl

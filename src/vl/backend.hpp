@@ -83,7 +83,10 @@ struct VectorStats {
   }
 };
 
-/// Process-global stats, reset/read around a region of interest.
+/// Per-thread stats, reset/read around a region of interest on the
+/// thread driving the evaluation (kernels record outside their parallel
+/// regions, so the driving thread sees all of its own work and none of
+/// any other thread's — the isolation concurrent serving relies on).
 [[nodiscard]] VectorStats& stats() noexcept;
 void reset_stats() noexcept;
 

@@ -96,6 +96,20 @@ struct Function {
   std::vector<kernels::FusedExpr> fused;  ///< kFusedMap micro-expressions
 };
 
+/// External calling convention of one function: the *source-level* (P)
+/// parameter and result types that guide boxed-value conversion at the
+/// module boundary (kernels::from_boxed / to_boxed). Populated by the
+/// pipeline from the type-checked program for user-visible functions (and
+/// the entry expression); the `^d` parallel extensions the transformation
+/// manufactures are internal and carry no signature. Serialized with the
+/// module (vm/module_io.hpp), which is what lets a loaded module be
+/// called without any AST in sight.
+struct Signature {
+  bool present = false;
+  std::vector<lang::TypePtr> params;
+  lang::TypePtr result;
+};
+
 /// A linked module: every function of a V program plus shared pools. The
 /// optional entry expression compiles as the parameterless function at
 /// index `entry`.
@@ -105,11 +119,21 @@ struct Module {
   std::vector<kernels::VValue> constants;
   std::vector<lang::TypePtr> types;    ///< empty_frame / empty-literal types
   std::vector<std::string> names;      ///< unresolved-call diagnostics
+  std::vector<Signature> signatures;   ///< parallel to `functions`; may be
+                                       ///< empty for hand-built modules
   std::int32_t entry = -1;
 
   [[nodiscard]] const Function* find(const std::string& name) const {
     auto it = fn_index.find(name);
     return it == fn_index.end() ? nullptr : &functions[it->second];
+  }
+
+  /// Signature of function `index`, or null when none was recorded.
+  [[nodiscard]] const Signature* signature(std::uint32_t index) const {
+    if (index >= signatures.size() || !signatures[index].present) {
+      return nullptr;
+    }
+    return &signatures[index];
   }
 };
 

@@ -455,8 +455,8 @@ class FunCompiler {
 
 }  // namespace
 
-std::shared_ptr<const Module> compile_module(const lang::Program& program,
-                                             const ExprPtr& entry) {
+std::shared_ptr<Module> compile_module(const lang::Program& program,
+                                       const ExprPtr& entry) {
   auto module = std::make_shared<Module>();
   Builder builder(*module);
 

@@ -24,8 +24,10 @@ namespace proteus::vm {
 
 /// Compiles a V program (e.g. xform::Compiled::vec) and an optional closed
 /// V entry expression (compiled as the parameterless `Module::entry`
-/// function). Throws TransformError on non-V input.
-[[nodiscard]] std::shared_ptr<const Module> compile_module(
+/// function). Throws TransformError on non-V input. Returned mutable so
+/// the pipeline can attach the external calling convention (Signatures)
+/// before freezing the module behind shared_ptr<const Module>.
+[[nodiscard]] std::shared_ptr<Module> compile_module(
     const lang::Program& program, const lang::ExprPtr& entry = nullptr);
 
 /// The opcode family a (prim, depth) selector lowers to. Shared with the

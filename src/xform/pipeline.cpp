@@ -139,7 +139,32 @@ Compiled compile(std::string_view program_source,
 
   {
     obs::Span span("compile", "vm-assemble");
-    out.module = vm::compile_module(out.vec, out.entry_vec);
+    std::shared_ptr<vm::Module> module =
+        vm::compile_module(out.vec, out.entry_vec);
+    // Attach the external calling convention: the *checked* (source-level)
+    // parameter/result types of every user-visible function, plus the
+    // entry expression's type. This is what a serialized module needs to
+    // convert boxed P values at its boundary with no AST in the process
+    // (vm/module_io.hpp). The `^d` extensions T1 manufactures are
+    // internal-only and stay signature-less.
+    module->signatures.resize(module->functions.size());
+    for (std::size_t i = 0; i < module->functions.size(); ++i) {
+      const lang::FunDef* def = out.checked.find(module->functions[i].name);
+      if (def == nullptr || def->result == nullptr) continue;
+      vm::Signature& sig = module->signatures[i];
+      sig.present = true;
+      sig.params.reserve(def->params.size());
+      for (const lang::Param& p : def->params) sig.params.push_back(p.type);
+      sig.result = def->result;
+    }
+    if (module->entry >= 0 && out.entry_checked != nullptr &&
+        out.entry_checked->type != nullptr) {
+      vm::Signature& sig =
+          module->signatures[static_cast<std::size_t>(module->entry)];
+      sig.present = true;
+      sig.result = out.entry_checked->type;
+    }
+    out.module = module;
     out.module_o0 = out.module;
   }
 

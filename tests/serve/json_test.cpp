@@ -1,0 +1,111 @@
+// json_test.cpp — the serving layer's NDJSON value/parser/writer
+// (serve/json.hpp). The parser faces arbitrary network input, so the
+// tests lean on the same contract as the module loader's: malformed text
+// is a structured failure, never a crash or an exception.
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace proteus::serve {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  std::string error;
+  std::optional<Json> v = parse_json(text, &error);
+  EXPECT_TRUE(v.has_value()) << text << ": " << error;
+  return v.value_or(Json());
+}
+
+void expect_rejected(const std::string& text) {
+  std::string error;
+  std::optional<Json> v = parse_json(text, &error);
+  EXPECT_FALSE(v.has_value()) << text << " parsed";
+  EXPECT_FALSE(error.empty()) << text << " rejected without a reason";
+}
+
+TEST(ServeJson, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool(true));
+  EXPECT_EQ(parse_ok("42").as_int(), 42);
+  EXPECT_EQ(parse_ok("-7").as_int(), -7);
+  EXPECT_TRUE(parse_ok("42").is_int());
+  EXPECT_DOUBLE_EQ(parse_ok("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-1e3").as_double(), -1000.0);
+  EXPECT_FALSE(parse_ok("2.5").is_int());
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(ServeJson, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  // \uXXXX decodes to UTF-8; unpaired surrogates become U+FFFD instead of
+  // crashing or producing invalid UTF-8.
+  EXPECT_EQ(parse_ok(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse_ok(R"("\ud800")").as_string(), "\xef\xbf\xbd");
+  expect_rejected(R"("\x41")");
+  expect_rejected("\"unterminated");
+}
+
+TEST(ServeJson, ArraysAndObjects) {
+  Json v = parse_ok(R"({"op":"eval","args":["1","[2,3]"],"n":3})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.has("op"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.get("op").as_string(), "eval");
+  EXPECT_EQ(v.get("n").as_int(), 3);
+  ASSERT_EQ(v.get("args").as_array().size(), 2u);
+  EXPECT_EQ(v.get("args").as_array()[1].as_string(), "[2,3]");
+  // get() on absent keys / non-objects degrades to null, never throws.
+  EXPECT_TRUE(v.get("missing").is_null());
+  EXPECT_TRUE(Json(7).get("anything").is_null());
+
+  EXPECT_EQ(parse_ok("[]").as_array().size(), 0u);
+  EXPECT_EQ(parse_ok("{}").as_object().size(), 0u);
+  EXPECT_EQ(parse_ok(" [ 1 , 2 ] ").as_array().size(), 2u);
+}
+
+TEST(ServeJson, MalformedInputIsRejectedWithAReason) {
+  expect_rejected("");
+  expect_rejected("{");
+  expect_rejected("[1,");
+  expect_rejected("{\"a\":}");
+  expect_rejected("{\"a\" 1}");
+  expect_rejected("{'a':1}");
+  expect_rejected("[1,2,]");
+  expect_rejected("nul");
+  expect_rejected("1 2");          // trailing garbage
+  expect_rejected("{\"a\":1}x");   // trailing garbage
+  expect_rejected("+1");
+  expect_rejected("01");
+}
+
+TEST(ServeJson, DepthLimitHolds) {
+  // 1000 nested arrays would overflow an unguarded recursive-descent
+  // parser's stack; the depth limit turns it into a clean rejection.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  expect_rejected(deep);
+
+  std::string shallow(8, '[');
+  shallow += "1";
+  shallow += std::string(8, ']');
+  EXPECT_TRUE(parse_ok(shallow).is_array());
+}
+
+TEST(ServeJson, DumpIsSingleLineAndRoundTrips) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null],"b":"line\nbreak \"q\"","c":{"d":-3}})";
+  Json v = parse_ok(text);
+  const std::string dumped = v.dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos) << dumped;
+  // parse . dump is the identity on the dumped form (std::map keys keep
+  // object order deterministic).
+  EXPECT_EQ(parse_ok(dumped).dump(), dumped);
+  EXPECT_EQ(dumped, text);
+}
+
+}  // namespace
+}  // namespace proteus::serve

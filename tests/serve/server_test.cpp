@@ -1,0 +1,332 @@
+// server_test.cpp — proteusd's request engine (serve/server.hpp):
+// protocol ops, the compile-once / evaluate-many cache, per-request
+// budget isolation, the disk tier, and handle_line under concurrency
+// (this suite runs under the TSan CI job, so the locking is proved, not
+// assumed).
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace proteus::serve {
+namespace {
+
+constexpr const char* kSource =
+    "fun sq(n: int): int = n * n\n"
+    "fun down(n: int): int = if n == 0 then 0 else down(n - 1)\n";
+
+Json request(std::initializer_list<std::pair<const std::string, Json>> kv) {
+  return Json(Json::Object(kv));
+}
+
+Json args_of(std::initializer_list<const char*> literals) {
+  Json::Array a;
+  for (const char* s : literals) a.emplace_back(s);
+  return Json(std::move(a));
+}
+
+TEST(ServeServer, PingEchoesIdAndUnknownOpIsBadRequest) {
+  Server server;
+  Json reply = server.handle_request(request({{"op", "ping"}, {"id", 7}}));
+  EXPECT_TRUE(reply.get("ok").as_bool());
+  EXPECT_TRUE(reply.get("pong").as_bool());
+  EXPECT_EQ(reply.get("id").as_int(), 7);
+
+  reply = server.handle_request(request({{"op", "frobnicate"}}));
+  EXPECT_FALSE(reply.get("ok").as_bool(true));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeServer, MalformedLineIsAParseErrorReply) {
+  Server server;
+  const std::string reply = server.handle_line("{\"op\":");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"kind\":\"parse\""), std::string::npos) << reply;
+}
+
+TEST(ServeServer, CompileThenEvalByKeyAndWarmReuse) {
+  Server server;
+  Json compiled = server.handle_request(
+      request({{"op", "compile"}, {"source", kSource}}));
+  ASSERT_TRUE(compiled.get("ok").as_bool()) << compiled.dump();
+  EXPECT_FALSE(compiled.get("cached").as_bool(true));
+  const std::string key = compiled.get("key").as_string();
+  ASSERT_EQ(key.size(), 16u);
+  ASSERT_EQ(compiled.get("functions").as_array().size(), 2u);
+
+  // Same source again: served from cache, same key.
+  Json again = server.handle_request(
+      request({{"op", "compile"}, {"source", kSource}}));
+  EXPECT_TRUE(again.get("cached").as_bool());
+  EXPECT_EQ(again.get("key").as_string(), key);
+
+  // Eval by key alone — no source resent.
+  Json eval = server.handle_request(request(
+      {{"op", "eval"}, {"key", key}, {"fun", "sq"}, {"args", args_of({"9"})}}));
+  ASSERT_TRUE(eval.get("ok").as_bool()) << eval.dump();
+  EXPECT_EQ(eval.get("result").as_string(), "81");
+  EXPECT_TRUE(eval.get("cached").as_bool());
+  EXPECT_EQ(eval.get("engine").as_string(), "vm");
+
+  // An unknown key is a structured miss telling the client to resend
+  // source, and a bad key is rejected before the cache is consulted.
+  Json miss = server.handle_request(request(
+      {{"op", "eval"}, {"key", "00000000deadbeef"}, {"fun", "sq"}}));
+  EXPECT_EQ(miss.get("error").get("kind").as_string(), "unknown_key");
+  Json bad = server.handle_request(
+      request({{"op", "eval"}, {"key", "not-hex"}, {"fun", "sq"}}));
+  EXPECT_EQ(bad.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeServer, EntryExpressionIsPartOfTheCacheKey) {
+  Server server;
+  Json a = server.handle_request(request(
+      {{"op", "eval"}, {"source", kSource}, {"entry", "sq(3)"}}));
+  Json b = server.handle_request(request(
+      {{"op", "eval"}, {"source", kSource}, {"entry", "sq(4)"}}));
+  ASSERT_TRUE(a.get("ok").as_bool()) << a.dump();
+  ASSERT_TRUE(b.get("ok").as_bool()) << b.dump();
+  EXPECT_EQ(a.get("result").as_string(), "9");
+  EXPECT_EQ(b.get("result").as_string(), "16");
+  EXPECT_NE(a.get("key").as_string(), b.get("key").as_string());
+}
+
+TEST(ServeServer, CompileErrorsAndBadArgumentsAreStructured) {
+  Server server;
+  Json reply = server.handle_request(request(
+      {{"op", "eval"}, {"source", "fun f(: int = 1"}, {"fun", "f"}}));
+  EXPECT_FALSE(reply.get("ok").as_bool(true));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "compile");
+
+  reply = server.handle_request(request({{"op", "eval"},
+                                         {"source", kSource},
+                                         {"fun", "sq"},
+                                         {"args", args_of({"]["})}}));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+
+  reply = server.handle_request(
+      request({{"op", "eval"}, {"source", kSource}}));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+
+  reply = server.handle_request(request({{"op", "eval"}}));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeServer, BudgetTrapIsPerRequestAndTheServerKeepsServing) {
+  Server server;
+  Json::Object budget;
+  budget["depth"] = 10;
+  Json trapped = server.handle_request(request({{"op", "eval"},
+                                                {"source", kSource},
+                                                {"fun", "down"},
+                                                {"args", args_of({"500"})},
+                                                {"budget", Json(budget)}}));
+  ASSERT_FALSE(trapped.get("ok").as_bool(true)) << trapped.dump();
+  EXPECT_EQ(trapped.get("error").get("kind").as_string(), "trap");
+  EXPECT_EQ(trapped.get("error").get("code").as_string(), "T003");
+  EXPECT_TRUE(trapped.get("error").has("site"));
+
+  // The trap was request-local: the very same call without the tight
+  // budget succeeds on the cached program.
+  Json fine = server.handle_request(request({{"op", "eval"},
+                                             {"source", kSource},
+                                             {"fun", "down"},
+                                             {"args", args_of({"500"})}}));
+  ASSERT_TRUE(fine.get("ok").as_bool()) << fine.dump();
+  EXPECT_EQ(fine.get("result").as_string(), "0");
+  EXPECT_TRUE(fine.get("cached").as_bool());
+
+  Json metrics = server.handle_request(request({{"op", "metrics"}}));
+  EXPECT_GE(metrics.get("metrics").get("serve.trap.T003").as_int(), 1);
+}
+
+TEST(ServeServer, ClientBudgetCannotExceedTheServerCeiling) {
+  ServerOptions options;
+  options.max_budget.max_depth = 10;
+  Server server(options);
+  // The client asks for far more depth than the daemon allows; the
+  // ceiling wins and the request traps.
+  Json::Object budget;
+  budget["depth"] = 1000000;
+  Json reply = server.handle_request(request({{"op", "eval"},
+                                              {"source", kSource},
+                                              {"fun", "down"},
+                                              {"args", args_of({"500"})},
+                                              {"budget", Json(budget)}}));
+  ASSERT_FALSE(reply.get("ok").as_bool(true)) << reply.dump();
+  EXPECT_EQ(reply.get("error").get("code").as_string(), "T003");
+}
+
+TEST(ServeServer, MistypedBudgetIsRejectedNotIgnored) {
+  Server server;
+  // A typo'd knob must not silently grant an unbounded run.
+  Json::Object budget;
+  budget["max_depth"] = 5;
+  Json reply = server.handle_request(request({{"op", "eval"},
+                                              {"source", kSource},
+                                              {"fun", "down"},
+                                              {"args", args_of({"500"})},
+                                              {"budget", Json(budget)}}));
+  ASSERT_FALSE(reply.get("ok").as_bool(true)) << reply.dump();
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+  EXPECT_NE(reply.get("error").get("message").as_string().find("max_depth"),
+            std::string::npos)
+      << reply.dump();
+
+  // Non-object budgets and non-numeric knob values are equally rejected.
+  Json bad = server.handle_request(request({{"op", "eval"},
+                                            {"source", kSource},
+                                            {"fun", "down"},
+                                            {"args", args_of({"1"})},
+                                            {"budget", Json("tight")}}));
+  EXPECT_EQ(bad.get("error").get("kind").as_string(), "bad_request");
+  Json::Object text_knob;
+  text_knob["depth"] = Json("ten");
+  Json bad2 = server.handle_request(request({{"op", "eval"},
+                                             {"source", kSource},
+                                             {"fun", "down"},
+                                             {"args", args_of({"1"})},
+                                             {"budget", Json(text_knob)}}));
+  EXPECT_EQ(bad2.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeServer, WarmEvalCompilesNothing) {
+  obs::Tracer tracer;
+  obs::TracerScope scope(&tracer);
+  Server server;
+
+  auto eval = request({{"op", "eval"},
+                       {"source", kSource},
+                       {"fun", "sq"},
+                       {"args", args_of({"6"})}});
+  Json cold = server.handle_request(eval);
+  ASSERT_TRUE(cold.get("ok").as_bool()) << cold.dump();
+  EXPECT_FALSE(cold.get("cached").as_bool(true));
+
+  auto compile_spans_since = [&tracer](std::size_t from) {
+    std::size_t n = 0;
+    const std::vector<obs::TraceEvent> events = tracer.events();
+    for (std::size_t i = from; i < events.size(); ++i) {
+      if (std::string_view(events[i].cat) == "compile") ++n;
+    }
+    return n;
+  };
+  // The cold request ran the pipeline: parse/check/…/vm-assemble spans.
+  ASSERT_GT(compile_spans_since(0), 0u);
+
+  // The warm request must add ZERO compile-category spans — the cache
+  // hit skips parse, typecheck, transformation, and compilation
+  // entirely; only run-category work remains.
+  const std::size_t mark = tracer.event_count();
+  Json warm = server.handle_request(eval);
+  ASSERT_TRUE(warm.get("ok").as_bool()) << warm.dump();
+  EXPECT_TRUE(warm.get("cached").as_bool());
+  EXPECT_EQ(warm.get("result").as_string(), "36");
+  EXPECT_EQ(compile_spans_since(mark), 0u);
+}
+
+TEST(ServeServer, DiskTierServesAFreshProcessByKeyAlone) {
+  const std::string dir =
+      ::testing::TempDir() + "/proteus_serve_disk_tier_test";
+  std::filesystem::remove_all(dir);
+
+  std::string key;
+  {
+    ServerOptions options;
+    options.cache_dir = dir;
+    Server first(options);
+    Json compiled = first.handle_request(
+        request({{"op", "compile"}, {"source", kSource}}));
+    ASSERT_TRUE(compiled.get("ok").as_bool()) << compiled.dump();
+    key = compiled.get("key").as_string();
+  }
+
+  // A brand-new server over the same directory — as after a daemon
+  // restart — serves the key without ever seeing the source. The module
+  // image carries its own calling convention, so the run works with no
+  // AST in the process (engine "vm-module").
+  ServerOptions options;
+  options.cache_dir = dir;
+  Server second(options);
+  Json eval = second.handle_request(request(
+      {{"op", "eval"}, {"key", key}, {"fun", "sq"}, {"args", args_of({"5"})}}));
+  ASSERT_TRUE(eval.get("ok").as_bool()) << eval.dump();
+  EXPECT_EQ(eval.get("result").as_string(), "25");
+  EXPECT_EQ(eval.get("engine").as_string(), "vm-module");
+  EXPECT_TRUE(eval.get("cached").as_bool());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeServer, HandleLineIsThreadSafeUnderConcurrentMixedLoad) {
+  Server server;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> trap_count{0};
+
+  // Every thread hammers the same server with a mix of cache-hitting
+  // evals, distinct compiles, budget traps, and metrics requests. Run
+  // under TSan (the CI job builds this suite with it) this proves the
+  // cache and metrics locking; functionally, every reply must be a
+  // well-formed verdict — ok, or the trap we asked for.
+  auto worker = [&](int tid) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string reply = server.handle_line(
+          "{\"op\":\"eval\",\"source\":\"fun sq(n: int): int = n * n\","
+          "\"fun\":\"sq\",\"args\":[\"" +
+          std::to_string(tid * 100 + i) + "\"]}");
+      if (reply.find("\"ok\":true") != std::string::npos) ++ok_count;
+
+      const std::string trap = server.handle_line(
+          "{\"op\":\"eval\",\"source\":\"fun down(n: int): int = if n == 0 "
+          "then 0 else down(n - 1)\",\"fun\":\"down\",\"args\":[\"99\"],"
+          "\"budget\":{\"depth\":5}}");
+      if (trap.find("\"code\":\"T003\"") != std::string::npos) ++trap_count;
+
+      (void)server.handle_line("{\"op\":\"metrics\"}");
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  EXPECT_EQ(trap_count.load(), kThreads * kPerThread);
+
+  // One compile per distinct program, many serves.
+  obs::MetricsRegistry metrics = server.metrics();
+  EXPECT_EQ(metrics.get("serve.compile.count"), 2u);
+  EXPECT_GE(metrics.get("serve.cache.hit"),
+            static_cast<std::uint64_t>(kThreads * kPerThread * 2 - 2));
+}
+
+TEST(ServeServer, StdioLoopServesUntilShutdown) {
+  Server server;
+  std::istringstream in(
+      "{\"op\":\"ping\",\"id\":1}\n"
+      "\n"
+      "{\"op\":\"eval\",\"source\":\"fun sq(n: int): int = n * n\","
+      "\"fun\":\"sq\",\"args\":[\"3\"]}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"ping\",\"id\":2}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"pong\":true"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"result\":\"9\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"stopping\":true"), std::string::npos) << text;
+  // The ping after shutdown was never served.
+  EXPECT_EQ(text.find("\"id\":2"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace proteus::serve

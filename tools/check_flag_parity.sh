@@ -1,0 +1,46 @@
+#!/bin/sh
+# check_flag_parity.sh — asserts a tool's --help documents every flag its
+# argv loop actually parses.
+#
+#   check_flag_parity.sh <binary> <source.cpp>
+#
+# The source of truth is the parser itself: every string literal compared
+# against an argument (`a == "--engine"`, `arg == "-O0"`) is extracted from
+# the .cpp and must appear verbatim in the --help text. A flag added to the
+# parser without a help line fails this test — that is the point (the help
+# screen has drifted from the parser before).
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <binary> <source.cpp>" >&2
+  exit 2
+fi
+bin="$1"
+src="$2"
+
+help_text=$("$bin" --help)
+
+# Flag literals the parser compares against: "--long-flag" or "-X0" forms.
+flags=$(grep -o -- '== "--\{0,1\}-[A-Za-z0-9=-]*"' "$src" |
+  sed -e 's/^== "//' -e 's/"$//' -e 's/=.*$//' | sort -u)
+
+if [ -z "$flags" ]; then
+  echo "no flag literals found in $src (extraction pattern broken?)" >&2
+  exit 1
+fi
+
+fail=0
+for flag in $flags; do
+  case "$help_text" in
+    *"$flag"*) ;;
+    *)
+      echo "PARITY: $(basename "$bin") parses '$flag' but --help never mentions it" >&2
+      fail=1
+      ;;
+  esac
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "flag parity ok: $(echo "$flags" | wc -l | tr -d ' ') flags documented"
+fi
+exit $fail

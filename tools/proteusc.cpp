@@ -30,6 +30,10 @@
 //                      (also via the PROTEUS_FAULT environment variable)
 //   --no-fallback      disable the graceful-degradation ladder: traps
 //                      propagate instead of retrying on a simpler engine
+//   --emit-module FILE write the compiled VCODE module image (vm/module_io)
+//   --load-module FILE run a module image instead of compiling source
+//   --module-cache DIR AOT module cache keyed by source+options hash,
+//                      shared with proteusd --cache-dir
 //
 // Exit codes: 0 success; 1 compile or runtime error; 2 usage error;
 // 3 static analysis / bytecode verification rejected the program;
@@ -42,6 +46,7 @@
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]' --engine vm --stats
 //   proteusc sort.p --call quicksort '[3,1,2]' --trace-json t.json --stats=json
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -55,22 +60,66 @@
 #include "lang/printer.hpp"
 #include "rt/rt.hpp"
 #include "vm/disasm.hpp"
+#include "vm/module_io.hpp"
 #include "vm/verify.hpp"
 
 namespace {
 
 [[noreturn]] void usage(const std::string& err = {}) {
   if (!err.empty()) std::cerr << "proteusc: " << err << "\n\n";
-  std::cerr <<
-      "usage: proteusc FILE.p [--entry EXPR | --call F ARGS...]\n"
-      "                [--engine vec|ref|vm|both|all]\n"
-      "                [--dump checked|canon|flat|vec|vcode|trace]\n"
-      "                [--analyze[=json]] [--no-verify-vcode] [-O0|-O1]\n"
-      "                [--backend serial|openmp] [--stats[=json]]\n"
-      "                [--trace-json FILE] [--naive]\n"
-      "                [--budget-mem BYTES] [--budget-steps N]\n"
-      "                [--budget-depth N] [--budget-deadline-ms MS]\n"
-      "                [--inject alloc:N,kernel:M,opt:K] [--no-fallback]\n"
+  // Requested help goes to stdout (so `proteusc --help | grep` works);
+  // the usage dump accompanying a bad invocation goes to stderr.
+  (err.empty() ? std::cout : std::cerr) <<
+      "usage: proteusc FILE.p [options]\n"
+      "       proteusc --load-module FILE.pvcm [--call F ARGS...] [options]\n"
+      "\n"
+      "what to run:\n"
+      "  --entry EXPR        evaluate EXPR in the program's scope\n"
+      "  --call F A1 A2 ..   call function F with P literals as arguments\n"
+      "  --engine E          vec (default) | ref | vm | both (ref vs vec) |\n"
+      "                      all (ref vs vec vs vm)\n"
+      "  --backend B         serial (default) | openmp - vl execution policy\n"
+      "\n"
+      "inspection instead of running:\n"
+      "  --dump STAGE        checked | canon | flat | vec | vcode | trace\n"
+      "  --analyze[=json]    run the static shape/depth analyzer and the\n"
+      "                      VCODE verifier, print diagnostics (schema in\n"
+      "                      docs/ANALYSIS.md), exit 0 (clean) / 3 (rejected)\n"
+      "\n"
+      "compilation:\n"
+      "  -O0 / -O1           disable / enable (default) the VCODE optimizer\n"
+      "  --no-verify-vcode   skip bytecode verification of the module\n"
+      "  --naive             disable the Section 4.5 optimizations (ablation)\n"
+      "\n"
+      "module images (docs/SERVING.md):\n"
+      "  --emit-module FILE  write the compiled VCODE module image to FILE\n"
+      "                      and exit (add --call to also run it)\n"
+      "  --load-module FILE  run a module image instead of compiling source\n"
+      "                      (vm engine; --call F, or the baked entry when\n"
+      "                      no --call is given)\n"
+      "  --module-cache DIR  AOT cache: load <hash>.pvcm from DIR when the\n"
+      "                      source+options hash is present - skipping\n"
+      "                      parse/check/transform/compile entirely - and\n"
+      "                      write it back after a miss (shared with\n"
+      "                      proteusd --cache-dir)\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --stats[=json]      print cost counters after the run (text on\n"
+      "                      stderr, or one JSON document on stdout)\n"
+      "  --trace-json FILE   write compile + runtime spans as a Chrome\n"
+      "                      trace-event file (open in Perfetto)\n"
+      "\n"
+      "robustness (docs/ROBUSTNESS.md):\n"
+      "  --budget-mem N      cap live vl vector memory at N bytes (T001)\n"
+      "  --budget-steps N    cap element-work steps at N (T002)\n"
+      "  --budget-depth N    cap call/nesting depth at N (T003)\n"
+      "  --budget-deadline-ms N  wall-clock deadline per run (T004)\n"
+      "  --inject SPEC       deterministic fault injection, e.g.\n"
+      "                      alloc:3,kernel:7,opt:1 (also via PROTEUS_FAULT)\n"
+      "  --no-fallback       disable the graceful-degradation ladder: traps\n"
+      "                      propagate instead of retrying simpler engines\n"
+      "\n"
+      "  --help              show this help\n"
       "\n"
       "exit codes: 0 success; 1 compile or runtime error; 2 usage error;\n"
       "            3 static analysis / bytecode verification rejected the\n"
@@ -124,6 +173,9 @@ int main(int argc, char** argv) {
   proteus::rt::ExecBudget budget;
   std::string inject;
   bool fallback = true;
+  std::string emit_module;
+  std::string load_module;
+  std::string module_cache;
 
   auto parse_u64 = [](const std::string& text,
                       const char* what) -> std::uint64_t {
@@ -194,6 +246,12 @@ int main(int argc, char** argv) {
       inject = next("--inject");
     } else if (a == "--no-fallback") {
       fallback = false;
+    } else if (a == "--emit-module") {
+      emit_module = next("--emit-module");
+    } else if (a == "--load-module") {
+      load_module = next("--load-module");
+    } else if (a == "--module-cache") {
+      module_cache = next("--module-cache");
     } else if (a.rfind("--", 0) == 0) {
       usage("unknown option '" + a + "'");
     } else if (file.empty()) {
@@ -202,7 +260,24 @@ int main(int argc, char** argv) {
       usage("multiple input files");
     }
   }
-  if (file.empty()) usage("no input file");
+  if (!load_module.empty()) {
+    if (!file.empty()) usage("--load-module replaces the source FILE");
+    if (!entry.empty()) {
+      usage("--entry needs source forms; a module image runs its baked "
+            "entry when no --call is given");
+    }
+    if (!dump.empty() || analyze) {
+      usage("--dump/--analyze need source forms; module images carry none");
+    }
+    if (!emit_module.empty() || !module_cache.empty()) {
+      usage("--load-module cannot combine with --emit-module/--module-cache");
+    }
+    if (engine != "vec" && engine != "vm") {
+      usage("module images run on the vm engine only");
+    }
+  } else if (file.empty()) {
+    usage("no input file");
+  }
   if (engine != "vec" && engine != "ref" && engine != "vm" &&
       engine != "both" && engine != "all") {
     usage("--engine must be vec, ref, vm, both, or all");
@@ -253,13 +328,68 @@ int main(int argc, char** argv) {
     options.verify_vcode = verify_vcode;
     options.optimize_vcode = optimize_vcode;
 
+    // Runs a deserialized module on the VM, driven by its serialized
+    // signatures — no source forms, no pipeline.
+    auto run_module =
+        [&](std::shared_ptr<const proteus::vm::Module> module) -> int {
+      proteus::ModuleRunner runner(std::move(module));
+      runner.set_budget(budget);
+      if (tracing) runner.set_tracer(&tracer);
+      proteus::interp::Value result;
+      if (!call.empty()) {
+        proteus::interp::ValueList values;
+        for (const std::string& lit : call_args) {
+          values.push_back(proteus::parse_value(lit));
+        }
+        result = runner.run(call, values);
+      } else {
+        result = runner.run_entry();
+      }
+      std::cout << result << '\n';
+      if (stats) {
+        proteus::print_stats_text(std::cerr, runner.last_cost(), "vm");
+      }
+      write_trace();
+      return 0;
+    };
+
+    if (!load_module.empty()) {
+      proteus::vm::ModuleLoadResult loaded =
+          proteus::vm::load_module_file(load_module, verify_vcode);
+      if (!loaded.ok()) {
+        // Corrupt / truncated / wrong-version images land here with one
+        // structured diagnostic per finding (B215/B216 + verifier B2xx).
+        std::cerr << loaded.report.to_text();
+        std::cerr << "proteusc: module image rejected\n";
+        return 3;
+      }
+      return run_module(loaded.module);
+    }
+
+    const std::string source = read_file(file);
+    const std::uint64_t module_key = proteus::vm::source_hash(
+        source + '\x1E' + entry,
+        proteus::vm::options_tag(optimize_vcode, verify_vcode));
+
+    if (!module_cache.empty() && dump.empty() && !analyze &&
+        emit_module.empty()) {
+      const std::string image_path =
+          module_cache + "/" + proteus::vm::hash_hex(module_key) + ".pvcm";
+      proteus::vm::ModuleLoadResult loaded =
+          proteus::vm::load_module_file(image_path, verify_vcode);
+      if (loaded.ok() && loaded.source_hash == module_key) {
+        // AOT cache hit: parse/check/transform/compile all skipped.
+        return run_module(loaded.module);
+      }
+      // Miss (or stale/corrupt image): compile below and write it back.
+    }
+
     if (analyze) {
       // Compile through every stage and report the analyzer's + bytecode
       // verifier's findings instead of running; exit 3 on rejection.
       proteus::analysis::Report report;
       try {
-        report = proteus::xform::compile(read_file(file), entry, options)
-                     .analysis;
+        report = proteus::xform::compile(source, entry, options).analysis;
       } catch (const proteus::analysis::AnalysisError& e) {
         report = e.report();
       }
@@ -276,12 +406,37 @@ int main(int argc, char** argv) {
       return report.ok() ? 0 : 3;
     }
 
-    proteus::Session session(read_file(file), entry, options);
+    proteus::Session session(source, entry, options);
     if (tracing) session.set_tracer(&tracer);
     session.set_budget(budget);
     session.set_fallback(fallback);
     for (const std::string& note : session.compiled().compile_fallbacks) {
       std::cerr << "proteusc: [degraded] " << note << '\n';
+    }
+
+    if (!module_cache.empty() && dump.empty()) {
+      // Write-back after a miss, so the next run of this source+options
+      // skips the pipeline. Best-effort: cache trouble must not fail a
+      // run that already compiled.
+      std::error_code ec;
+      std::filesystem::create_directories(module_cache, ec);
+      try {
+        proteus::vm::write_module_file(
+            module_cache + "/" + proteus::vm::hash_hex(module_key) + ".pvcm",
+            *session.compiled().module, module_key);
+      } catch (const proteus::Error& e) {
+        std::cerr << "proteusc: [module-cache] " << e.what() << '\n';
+      }
+    }
+    if (!emit_module.empty()) {
+      proteus::vm::write_module_file(emit_module, *session.compiled().module,
+                                     module_key);
+      if (call.empty()) {
+        // Image written; nothing asked to run (an --entry, if given, was
+        // baked into the image as its entry function).
+        write_trace();
+        return 0;
+      }
     }
 
     if (dump == "trace") {

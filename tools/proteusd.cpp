@@ -1,0 +1,176 @@
+// proteusd — the compile-once / evaluate-many serving daemon
+// (docs/SERVING.md).
+//
+// Speaks newline-delimited JSON: one request object per line, one reply
+// per line. Programs compile once through the full pipeline, land in a
+// module cache keyed by source hash + compile options (optionally
+// persisted as VCODE module images shared with `proteusc
+// --module-cache`), and every evaluation runs inside its own governor
+// scope, so a request that blows its budget gets a structured T00x error
+// reply while the daemon keeps serving.
+//
+//   proteusd --stdio                      # stdin/stdout (tests, CI smoke)
+//   proteusd --port 0                     # TCP; port 0 picks a free port
+//   proteusd --port 7571 --workers 4 --cache-dir /var/tmp/proteus-cache
+//
+// Exit codes: 0 clean shutdown, 1 transport failure, 2 usage error.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "serve/server.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: proteusd [--stdio | --port N] [options]\n"
+        "\n"
+        "transports:\n"
+        "  --stdio                serve newline-delimited JSON on stdin/stdout\n"
+        "  --port N               serve TCP on --host:N (0 picks a free port;\n"
+        "                         the chosen port is announced on stdout)\n"
+        "  --host ADDR            TCP bind address (default 127.0.0.1)\n"
+        "  --workers N            TCP worker threads (default 2)\n"
+        "\n"
+        "compilation and cache:\n"
+        "  --cache-dir DIR        persist compiled modules as <hash>.pvcm\n"
+        "                         images under DIR (shared with proteusc\n"
+        "                         --module-cache); default: in-memory only\n"
+        "  --no-optimize          skip the VCODE optimizer (-O0 modules)\n"
+        "  --no-verify            skip bytecode verification of assembled\n"
+        "                         and disk-loaded modules\n"
+        "\n"
+        "per-request resource ceilings (0 = unlimited; a request's own\n"
+        "\"budget\" object can tighten but never exceed these):\n"
+        "  --max-budget-bytes N   resident vector bytes (T001)\n"
+        "  --max-budget-steps N   element-work steps (T002)\n"
+        "  --max-budget-depth N   call/nesting depth (T003)\n"
+        "  --max-budget-deadline-ms N  wall-clock per request (T004)\n"
+        "\n"
+        "  --help                 show this help\n"
+        "\n"
+        "protocol (one JSON object per line; docs/SERVING.md has the full\n"
+        "schema):\n"
+        "  {\"op\":\"ping\"}\n"
+        "  {\"op\":\"compile\",\"source\":\"fun f(n: int): int = n*n\"}\n"
+        "  {\"op\":\"eval\",\"source\":\"...\",\"fun\":\"f\",\"args\":[\"7\"],\n"
+        "   \"budget\":{\"steps\":100000}}\n"
+        "  {\"op\":\"metrics\"}   {\"op\":\"shutdown\"}\n";
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  proteus::serve::ServerOptions options;
+  bool stdio = false;
+  bool have_port = false;
+  int port = 0;
+  std::string host = "127.0.0.1";
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "proteusd: " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::uint64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--port") {
+      if (!parse_u64(need_value(i), &n) || n > 65535) {
+        std::cerr << "proteusd: --port needs 0..65535\n";
+        return 2;
+      }
+      port = static_cast<int>(n);
+      have_port = true;
+      ++i;
+    } else if (arg == "--host") {
+      host = need_value(i);
+      ++i;
+    } else if (arg == "--workers") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 256) {
+        std::cerr << "proteusd: --workers needs 1..256\n";
+        return 2;
+      }
+      options.workers = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = need_value(i);
+      ++i;
+    } else if (arg == "--no-optimize") {
+      options.optimize = false;
+    } else if (arg == "--no-verify") {
+      options.verify = false;
+    } else if (arg == "--max-budget-bytes") {
+      if (!parse_u64(need_value(i), &n)) {
+        std::cerr << "proteusd: --max-budget-bytes needs a number\n";
+        return 2;
+      }
+      options.max_budget.max_resident_bytes = n;
+      ++i;
+    } else if (arg == "--max-budget-steps") {
+      if (!parse_u64(need_value(i), &n)) {
+        std::cerr << "proteusd: --max-budget-steps needs a number\n";
+        return 2;
+      }
+      options.max_budget.max_steps = n;
+      ++i;
+    } else if (arg == "--max-budget-depth") {
+      if (!parse_u64(need_value(i), &n) || n > 1000000) {
+        std::cerr << "proteusd: --max-budget-depth needs 0..1000000\n";
+        return 2;
+      }
+      options.max_budget.max_depth = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--max-budget-deadline-ms") {
+      if (!parse_u64(need_value(i), &n)) {
+        std::cerr << "proteusd: --max-budget-deadline-ms needs a number\n";
+        return 2;
+      }
+      options.max_budget.deadline_ms = n;
+      ++i;
+    } else {
+      std::cerr << "proteusd: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (stdio == have_port) {
+    std::cerr << "proteusd: pick exactly one transport: --stdio or --port N\n";
+    return 2;
+  }
+
+  proteus::serve::Server server(options);
+  if (!options.cache_dir.empty()) {
+    std::cerr << "proteusd: module cache at " << options.cache_dir << "\n";
+  }
+  if (stdio) {
+    return server.serve_stdio(std::cin, std::cout);
+  }
+  const int rc = server.serve_tcp(host, port, std::cout);
+  if (rc != 0) {
+    std::cerr << "proteusd: failed to bind " << host << ":" << port << "\n";
+  }
+  return rc;
+}
