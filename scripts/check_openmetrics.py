@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""check_openmetrics.py -- validate an OpenMetrics exposition.
+
+Reads the exposition text from a file argument (or stdin with no
+argument) and checks the subset of the OpenMetrics spec proteusd emits
+(docs/OBSERVABILITY.md):
+
+  * every sample line belongs to a metric family announced by a
+    preceding `# TYPE <name> counter|gauge|histogram` line;
+  * counter samples use the `_total` suffix, histogram samples the
+    `_bucket`/`_sum`/`_count` suffixes, gauges the bare name;
+  * histogram `_bucket{le="..."}` series are cumulative (monotone
+    non-decreasing), end with an `le="+Inf"` bucket, and that bucket
+    equals the family's `_count`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * the exposition ends with exactly one `# EOF` terminator.
+
+Exit status: 0 on a valid exposition, 1 with a diagnostic per violation
+otherwise. Used by the CI metrics-scrape smoke and usable by hand:
+
+    curl -s localhost:9464/metrics | python3 scripts/check_openmetrics.py
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+BUCKET_RE = re.compile(r'^(?P<name>[a-zA-Z0-9_:]+)_bucket\{le="(?P<le>[^"]+)"\} (?P<value>\d+)$')
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z0-9_:]+) (?P<value>-?\d+(\.\d+)?)$")
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [exposition.txt]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    families = {}  # name -> type
+    # histogram state: family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    histograms = {}
+    saw_eof = False
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        def err(message):
+            errors.append(f"line {lineno}: {message}: {line!r}")
+
+        if saw_eof:
+            err("content after # EOF")
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                err("malformed TYPE line")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                err(f"invalid metric name {name!r}")
+            if name in families:
+                err(f"duplicate TYPE for {name!r}")
+            families[name] = parts[3]
+            if parts[3] == "histogram":
+                histograms[name] = {"buckets": [], "sum": None, "count": None}
+            continue
+        if line.startswith("#"):
+            err("unknown comment line (only # TYPE and # EOF are emitted)")
+            continue
+
+        bucket = BUCKET_RE.match(line)
+        if bucket:
+            name = bucket.group("name")
+            if families.get(name) != "histogram":
+                err(f"_bucket sample for non-histogram family {name!r}")
+                continue
+            histograms[name]["buckets"].append(
+                (bucket.group("le"), int(bucket.group("value"))))
+            continue
+
+        sample = SAMPLE_RE.match(line)
+        if not sample:
+            err("unparseable sample line")
+            continue
+        name, value = sample.group("name"), sample.group("value")
+        if name.endswith("_sum") and name[:-4] in histograms:
+            histograms[name[:-4]]["sum"] = int(value)
+        elif name.endswith("_count") and name[:-6] in histograms:
+            histograms[name[:-6]]["count"] = int(value)
+        elif name.endswith("_total") and name[:-6] in families:
+            if families[name[:-6]] != "counter":
+                err(f"_total sample for non-counter family {name[:-6]!r}")
+        elif families.get(name) == "gauge":
+            pass
+        else:
+            err(f"sample for unannounced family {name!r}")
+
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+
+    for name, state in histograms.items():
+        buckets = state["buckets"]
+        if not buckets:
+            errors.append(f"histogram {name!r} has no _bucket samples")
+            continue
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {name!r} does not end with le=\"+Inf\"")
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            errors.append(f"histogram {name!r} buckets are not cumulative: {values}")
+        if state["count"] is None:
+            errors.append(f"histogram {name!r} is missing _count")
+        elif buckets[-1][0] == "+Inf" and buckets[-1][1] != state["count"]:
+            errors.append(
+                f"histogram {name!r}: +Inf bucket {buckets[-1][1]} != _count {state['count']}")
+        if state["sum"] is None:
+            errors.append(f"histogram {name!r} is missing _sum")
+
+    for message in errors:
+        print(f"check_openmetrics: {message}", file=sys.stderr)
+    if not errors:
+        hist = len(histograms)
+        print(f"openmetrics ok: {len(families)} families ({hist} histograms)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

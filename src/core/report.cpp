@@ -89,6 +89,16 @@ void print_stats_text(std::ostream& os, const RunCost& cost,
     }
     os << '\n';
   }
+  print_histograms_text(os, cost.metrics);
+}
+
+void print_histograms_text(std::ostream& os,
+                           const obs::MetricsRegistry& metrics) {
+  for (const auto& [name, h] : metrics.histograms()) {
+    os << "[stats] " << name << ": count=" << h.count() << " p50=" << h.p50()
+       << " p95=" << h.p95() << " p99=" << h.p99() << " min=" << h.min()
+       << " max=" << h.max() << '\n';
+  }
 }
 
 void write_run_json(std::ostream& os, const RunCost& cost,

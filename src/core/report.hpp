@@ -24,9 +24,17 @@ namespace proteus {
 /// `engine` ("ref", "vec" or "vm"). Clears previously published values.
 void publish_metrics(RunCost& cost, std::string_view engine);
 
-/// The classic human-readable "[stats] ..." lines for `engine`.
+/// The classic human-readable "[stats] ..." lines for `engine`. Any
+/// histograms published into cost.metrics render via
+/// print_histograms_text.
 void print_stats_text(std::ostream& os, const RunCost& cost,
                       const std::string& engine);
+
+/// One "[stats] <name>: count=.. p50=.. p95=.. p99=.. min=.. max=.."
+/// line per histogram in `metrics` (no output when there are none) —
+/// how `proteusc --stats` renders its per-run wall-time distributions.
+void print_histograms_text(std::ostream& os,
+                           const obs::MetricsRegistry& metrics);
 
 /// One JSON object for a run: {"engine": "...", "metrics": {...}}.
 void write_run_json(std::ostream& os, const RunCost& cost,

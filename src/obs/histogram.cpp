@@ -1,0 +1,71 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace proteus::obs {
+
+namespace {
+
+/// Bucket index of `value`: its bit width (0 for 0), clamped to the
+/// last bucket.
+std::size_t bucket_index(std::uint64_t value) noexcept {
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(width, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;  // 0, 1, 3, 7, 15, ...
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The rank we are after, 1-based: q = 0 is the first observation,
+  // q = 1 the last.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] < rank) {
+      cumulative += buckets_[i];
+      continue;
+    }
+    // The target rank lands in bucket i: interpolate linearly between
+    // the bucket's bounds by the rank's position inside it, then clamp
+    // to what was actually observed.
+    const std::uint64_t lo = i == 0 ? 0 : bucket_upper_bound(i - 1) + 1;
+    const std::uint64_t hi = bucket_upper_bound(i);
+    const double within = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets_[i]);
+    const double est =
+        static_cast<double>(lo) +
+        within * (static_cast<double>(hi) - static_cast<double>(lo));
+    const std::uint64_t v = static_cast<std::uint64_t>(est);
+    return std::clamp(v, min(), max_);
+  }
+  return max_;  // unreachable for a consistent histogram
+}
+
+}  // namespace proteus::obs

@@ -1,0 +1,72 @@
+// histogram.hpp — fixed log-bucketed distributions for latencies & sizes.
+//
+// A Histogram is a plain value type: 65 power-of-two buckets (one per
+// possible bit width of a uint64, plus a zero bucket), a count, a sum,
+// and the observed min/max. `observe` is a handful of arithmetic
+// instructions and two array increments — no allocation, no lock, no
+// clock read — so it is cheap enough to record on every daemon request
+// (`serve.eval.duration_us`, see docs/OBSERVABILITY.md). Quantiles
+// (p50/p95/p99) are *estimates*: linear interpolation inside the bucket
+// that holds the target rank, clamped to the observed min/max, with a
+// worst-case relative error of one bucket width (2x).
+//
+// Thread-safety is the caller's problem, exactly like MetricsRegistry:
+// the serving daemon guards its registry (histograms included) with one
+// mutex; hot-path engine counters never touch these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace proteus::obs {
+
+class Histogram {
+ public:
+  /// Bucket i holds values whose bit width is i: bucket 0 holds only 0,
+  /// bucket i (i >= 1) holds [2^(i-1), 2^i - 1], bucket 64 holds the
+  /// top half of the uint64 range.
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Records one observation. Never fails, never allocates.
+  void observe(std::uint64_t value) noexcept;
+
+  /// Folds `other` into this histogram (count/sum/min/max/buckets).
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Smallest / largest value observed (0 when empty).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, ..., UINT64_MAX).
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(
+      std::size_t i) noexcept;
+
+  /// Estimated value at quantile q in [0, 1]: q = 0.5 is the median,
+  /// 0.99 the p99. Returns 0 for an empty histogram.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  void clear() noexcept { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace proteus::obs

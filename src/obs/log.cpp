@@ -1,0 +1,174 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+#include "obs/tracer.hpp"  // json_escape
+
+namespace proteus::obs {
+
+namespace {
+
+/// Milliseconds since the Unix epoch.
+std::uint64_t now_epoch_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// "2026-08-08T12:00:00.123Z" for the text format.
+std::string iso8601_utc(std::uint64_t epoch_ms) {
+  const auto secs = static_cast<std::time_t>(epoch_ms / 1000);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03uZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<unsigned>(epoch_ms % 1000));
+  return buf;
+}
+
+/// A text-format value needs quoting when it has spaces/quotes/empties.
+bool needs_quotes(std::string_view s) {
+  if (s.empty()) return true;
+  for (const char c : s) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string text_value(std::string_view s) {
+  if (!needs_quotes(s)) return std::string(s);
+  return '"' + json_escape(s) + '"';
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view s, bool* ok) noexcept {
+  if (ok != nullptr) *ok = true;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  if (ok != nullptr) *ok = false;
+  return LogLevel::kOff;
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "off";
+}
+
+void Logger::configure(LogLevel level, bool json, std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+  json_.store(json, std::memory_order_relaxed);
+  level_.store(level, std::memory_order_relaxed);
+}
+
+void Logger::write_range(LogLevel level, std::string_view event,
+                         const LogField* begin, const LogField* end) {
+  if (!enabled(level)) return;
+  const std::uint64_t ts_ms = now_epoch_ms();
+  const bool as_json = json();
+
+  // Render into a local buffer first so the lock only covers the final
+  // single-line emission.
+  std::string line;
+  line.reserve(128);
+  if (as_json) {
+    line += "{\"ts_ms\":";
+    line += std::to_string(ts_ms);
+    line += ",\"level\":\"";
+    line += log_level_name(level);
+    line += "\",\"event\":\"";
+    line += json_escape(event);
+    line += '"';
+    for (const LogField* it = begin; it != end; ++it) {
+      const LogField& f = *it;
+      line += ",\"";
+      line += json_escape(f.key);
+      line += "\":";
+      switch (f.kind) {
+        case LogField::Kind::kUint:
+          line += std::to_string(f.uint_value);
+          break;
+        case LogField::Kind::kInt:
+          line += std::to_string(f.int_value);
+          break;
+        case LogField::Kind::kString:
+          line += '"';
+          line += json_escape(f.string_value);
+          line += '"';
+          break;
+      }
+    }
+    line += '}';
+  } else {
+    line += "ts=";
+    line += iso8601_utc(ts_ms);
+    line += " level=";
+    line += log_level_name(level);
+    line += " event=";
+    line += event;
+    for (const LogField* it = begin; it != end; ++it) {
+      const LogField& f = *it;
+      line += ' ';
+      line += f.key;
+      line += '=';
+      switch (f.kind) {
+        case LogField::Kind::kUint:
+          line += std::to_string(f.uint_value);
+          break;
+        case LogField::Kind::kInt:
+          line += std::to_string(f.int_value);
+          break;
+        case LogField::Kind::kString:
+          line += text_value(f.string_value);
+          break;
+      }
+    }
+  }
+  line += '\n';
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << line;
+  os.flush();
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+bool log_enabled(LogLevel level) noexcept { return logger().enabled(level); }
+
+void log(LogLevel level, std::string_view event,
+         std::initializer_list<LogField> fields) {
+  logger().write(level, event, fields);
+}
+
+void log(LogLevel level, std::string_view event,
+         const std::vector<LogField>& fields) {
+  logger().write(level, event, fields);
+}
+
+}  // namespace proteus::obs

@@ -1,0 +1,119 @@
+// log.hpp — leveled, structured (NDJSON-able) logging for the daemon.
+//
+// One process-global Logger, off by default: a disabled `log(...)` call
+// site costs one relaxed atomic load and a branch, and callers that
+// build fields should guard with `log_enabled(level)` first so field
+// construction is never paid when the level is filtered. When enabled,
+// every record renders as exactly one line on the configured sink
+// (stderr for proteusd) under one mutex — lines from concurrent request
+// workers never interleave.
+//
+// Two formats, switched by `configure`:
+//   text:  ts=2026-08-08T12:00:00.123Z level=info event=serve.request op=eval ...
+//   json:  {"ts_ms":1786536000123,"level":"info","event":"serve.request","op":"eval",...}
+//
+// The JSON form is NDJSON: one object per line, integer values stay
+// integers, everything else is an escaped string. Field keys come from
+// call sites and are assumed to be sane identifiers (dotted names fine).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proteus::obs {
+
+enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarn, kError, kOff };
+
+/// "debug" / "info" / "warn" / "error" / "off"; anything else is kOff
+/// with `ok` (when given) set to false.
+[[nodiscard]] LogLevel parse_log_level(std::string_view s,
+                                       bool* ok = nullptr) noexcept;
+
+/// Lower-case level name ("debug", ..., "off").
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// One key/value pair of a structured record. Integer values render as
+/// JSON numbers; strings are escaped.
+struct LogField {
+  enum class Kind : std::uint8_t { kUint, kInt, kString };
+
+  LogField(std::string k, std::uint64_t v)
+      : key(std::move(k)), kind(Kind::kUint), uint_value(v) {}
+  LogField(std::string k, std::int64_t v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v) {}
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), string_value(std::move(v)) {}
+  LogField(std::string k, std::string_view v)
+      : LogField(std::move(k), std::string(v)) {}
+  LogField(std::string k, const char* v)
+      : LogField(std::move(k), std::string(v)) {}
+
+  std::string key;
+  Kind kind;
+  std::uint64_t uint_value = 0;
+  std::int64_t int_value = 0;
+  std::string string_value;
+};
+
+class Logger {
+ public:
+  /// Installs level/format/sink atomically with respect to concurrent
+  /// `write` calls. A null `sink` means stderr.
+  void configure(LogLevel level, bool json, std::ostream* sink = nullptr);
+
+  /// Cheapest possible check — relaxed load + compare.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool json() const noexcept {
+    return json_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders one record as a single line. No-op when `level` is below
+  /// the configured threshold.
+  void write(LogLevel level, std::string_view event,
+             std::initializer_list<LogField> fields) {
+    write_range(level, event, fields.begin(), fields.end());
+  }
+
+  /// Same, for call sites that build their field list dynamically.
+  void write(LogLevel level, std::string_view event,
+             const std::vector<LogField>& fields) {
+    write_range(level, event, fields.data(), fields.data() + fields.size());
+  }
+
+ private:
+  void write_range(LogLevel level, std::string_view event,
+                   const LogField* begin, const LogField* end);
+
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::atomic<bool> json_{false};
+  std::mutex mu_;           ///< guards sink_ and line emission
+  std::ostream* sink_ = nullptr;  ///< null = stderr
+};
+
+/// The process-global logger (level kOff until configured).
+[[nodiscard]] Logger& logger();
+
+/// True when a `log(level, ...)` call would emit. Guard field
+/// construction with this at hot call sites.
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Emits one structured record through the global logger.
+void log(LogLevel level, std::string_view event,
+         std::initializer_list<LogField> fields = {});
+void log(LogLevel level, std::string_view event,
+         const std::vector<LogField>& fields);
+
+}  // namespace proteus::obs

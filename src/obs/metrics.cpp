@@ -1,8 +1,39 @@
 #include "obs/metrics.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "obs/tracer.hpp"
 
 namespace proteus::obs {
+
+namespace {
+
+/// Flattened scalar views of one histogram, in exporter order. The
+/// suffixes are part of the public text/JSON schema
+/// (docs/OBSERVABILITY.md): summary statistics ride alongside plain
+/// counters so every existing consumer of write_text/write_json sees
+/// histograms without learning a new shape.
+std::vector<std::pair<std::string, std::uint64_t>> flatten(
+    const std::string& name, const Histogram& h) {
+  return {
+      {name + ".count", h.count()}, {name + ".max", h.max()},
+      {name + ".min", h.min()},     {name + ".p50", h.p50()},
+      {name + ".p95", h.p95()},     {name + ".p99", h.p99()},
+      {name + ".sum", h.sum()},
+  };
+}
+
+/// Merges scalars and flattened histograms into one name-sorted list.
+MetricsRegistry::Map flat_view(const MetricsRegistry& reg) {
+  MetricsRegistry::Map out = reg.all();
+  for (const auto& [name, h] : reg.histograms()) {
+    for (auto& [k, v] : flatten(name, h)) out[std::move(k)] = v;
+  }
+  return out;
+}
+
+}  // namespace
 
 void MetricsRegistry::set(std::string name, std::uint64_t value) {
   values_[std::move(name)] = value;
@@ -10,6 +41,19 @@ void MetricsRegistry::set(std::string name, std::uint64_t value) {
 
 void MetricsRegistry::add(std::string name, std::uint64_t delta) {
   values_[std::move(name)] += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string name, std::uint64_t value) {
+  gauge_names_.insert(name);
+  values_[std::move(name)] = value;
+}
+
+void MetricsRegistry::observe(std::string name, std::uint64_t value) {
+  histograms_[std::move(name)].observe(value);
+}
+
+Histogram* MetricsRegistry::histogram_handle(std::string name) {
+  return &histograms_[std::move(name)];
 }
 
 std::uint64_t MetricsRegistry::get(std::string_view name) const {
@@ -21,8 +65,17 @@ bool MetricsRegistry::contains(std::string_view name) const {
   return values_.find(name) != values_.end();
 }
 
+bool MetricsRegistry::is_gauge(std::string_view name) const {
+  return gauge_names_.find(name) != gauge_names_.end();
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::write_text(std::ostream& os) const {
-  for (const auto& [name, value] : values_) {
+  for (const auto& [name, value] : flat_view(*this)) {
     os << name << ' ' << value << '\n';
   }
 }
@@ -30,12 +83,56 @@ void MetricsRegistry::write_text(std::ostream& os) const {
 void MetricsRegistry::write_json(std::ostream& os) const {
   os << '{';
   bool first = true;
-  for (const auto& [name, value] : values_) {
+  for (const auto& [name, value] : flat_view(*this)) {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << "\":" << value;
   }
   os << '}';
+}
+
+void MetricsRegistry::write_openmetrics(std::ostream& os) const {
+  for (const auto& [name, value] : values_) {
+    const std::string om = openmetrics_name(name);
+    if (is_gauge(name)) {
+      os << "# TYPE " << om << " gauge\n" << om << ' ' << value << '\n';
+    } else {
+      os << "# TYPE " << om << " counter\n"
+         << om << "_total " << value << '\n';
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string om = openmetrics_name(name);
+    os << "# TYPE " << om << " histogram\n";
+    // Cumulative buckets; empty buckets are elided (the le set of an
+    // OpenMetrics histogram is arbitrary) but "+Inf" always closes it.
+    std::uint64_t cumulative = 0;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      cumulative += buckets[i];
+      os << om << "_bucket{le=\"" << Histogram::bucket_upper_bound(i)
+         << "\"} " << cumulative << '\n';
+    }
+    os << om << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    os << om << "_sum " << h.sum() << '\n';
+    os << om << "_count " << h.count() << '\n';
+  }
+  os << "# EOF\n";
+}
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
 }
 
 }  // namespace proteus::obs

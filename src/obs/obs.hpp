@@ -1,9 +1,13 @@
 // obs.hpp — umbrella header for the tracing & metrics subsystem.
 //
-// Spans + Chrome-trace export: obs/tracer.hpp.
-// Unified metric sink + text/JSON reports: obs/metrics.hpp.
+// Spans + Chrome-trace export + thread-local sinks: obs/tracer.hpp.
+// Unified metric sink + text/JSON/OpenMetrics exporters: obs/metrics.hpp.
+// Log-bucketed latency/size distributions: obs/histogram.hpp.
+// Leveled structured (NDJSON) logging: obs/log.hpp.
 // Schema and usage: docs/OBSERVABILITY.md.
 #pragma once
 
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"

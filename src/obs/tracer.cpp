@@ -10,6 +10,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::atomic<Tracer*> g_tracer{nullptr};
+
+/// Per-thread override; non-null shadows g_tracer (ThreadTracerScope).
+thread_local Tracer* t_tracer = nullptr;
+
 std::atomic<std::uint32_t> g_next_thread_id{0};
 
 std::uint32_t make_thread_id() noexcept {
@@ -43,10 +47,19 @@ void write_args(std::ostream& os, const TraceEvent& e) {
 
 }  // namespace
 
-Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+Tracer* tracer() noexcept {
+  if (t_tracer != nullptr) return t_tracer;
+  return g_tracer.load(std::memory_order_relaxed);
+}
 
 Tracer* set_tracer(Tracer* t) noexcept {
   return g_tracer.exchange(t, std::memory_order_relaxed);
+}
+
+Tracer* set_thread_tracer(Tracer* t) noexcept {
+  Tracer* previous = t_tracer;
+  t_tracer = t;
+  return previous;
 }
 
 std::uint32_t thread_id() noexcept {

@@ -89,10 +89,19 @@ class Tracer {
 };
 
 /// The installed tracer, or nullptr when tracing is off (the default).
+/// A thread-local override (ThreadTracerScope) wins over the process
+/// global, so concurrent daemon requests can each record into their own
+/// sink without seeing each other's spans.
 [[nodiscard]] Tracer* tracer() noexcept;
 
-/// Installs `t` (nullptr to disable). Returns the previous sink.
+/// Installs `t` as the process-global sink (nullptr to disable).
+/// Returns the previous global sink. Thread-local overrides are not
+/// affected.
 Tracer* set_tracer(Tracer* t) noexcept;
+
+/// Installs `t` as this thread's sink, shadowing the global one.
+/// Returns the previous thread-local override (nullptr when none).
+Tracer* set_thread_tracer(Tracer* t) noexcept;
 
 /// RAII install/restore of the process-global tracer.
 class TracerScope {
@@ -122,6 +131,28 @@ class MaybeTracerScope {
 
  private:
   bool installed_;
+  Tracer* previous_;
+};
+
+/// RAII install/restore of the calling thread's tracer override. While
+/// in scope, spans recorded *on this thread* go to `t` regardless of
+/// the process-global sink — the per-request isolation the serving
+/// daemon needs when several workers trace concurrently. A null `t`
+/// means "no override": tracer() falls through to the process global,
+/// which makes nesting and restore compose naturally.
+///
+/// Caveat: the override is per-thread by design, so OpenMP worker
+/// threads spawned inside the scoped region still see the process
+/// global, not the override.
+class ThreadTracerScope {
+ public:
+  explicit ThreadTracerScope(Tracer* t) noexcept
+      : previous_(set_thread_tracer(t)) {}
+  ~ThreadTracerScope() { set_thread_tracer(previous_); }
+  ThreadTracerScope(const ThreadTracerScope&) = delete;
+  ThreadTracerScope& operator=(const ThreadTracerScope&) = delete;
+
+ private:
   Tracer* previous_;
 };
 

@@ -1,5 +1,8 @@
 #include "rt/trap.hpp"
 
+#include "obs/log.hpp"
+#include "obs/tracer.hpp"
+
 namespace proteus::rt {
 
 const char* trap_code(Trap t) noexcept {
@@ -74,6 +77,24 @@ RuntimeTrap::RuntimeTrap(Trap trap, const std::string& detail,
       site_(std::move(site)),
       bytes_(bytes),
       steps_(steps),
-      pc_(pc) {}
+      pc_(pc) {
+  // Every trap construction is an observability event: one structured
+  // warn record (when logging is on) and one instant on the installed
+  // tracer (when tracing is on). Both checks are a relaxed load + branch
+  // when telemetry is off, so throwing stays cheap.
+  if (obs::log_enabled(obs::LogLevel::kWarn)) {
+    obs::log(obs::LogLevel::kWarn, "rt.trap",
+             {{"code", code()},
+              {"site", site_},
+              {"bytes", bytes_},
+              {"steps", steps_},
+              {"pc", pc_},
+              {"message", detail}});
+  }
+  if (obs::Tracer* t = obs::tracer(); t != nullptr) {
+    t->instant("rt", code(), detail,
+               {{"bytes", bytes_}, {"steps", steps_}});
+  }
+}
 
 }  // namespace proteus::rt

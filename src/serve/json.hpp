@@ -96,6 +96,10 @@ class Json {
     return o != nullptr ? *o : kEmpty;
   }
 
+  /// Mutable object access for in-place edits (stamping reply metadata
+  /// without copying the whole object). nullptr for non-objects.
+  [[nodiscard]] Object* if_object() { return std::get_if<Object>(&node_); }
+
   /// Member `key` of an object (null Json for non-objects / absent keys).
   [[nodiscard]] const Json& get(std::string_view key) const;
 

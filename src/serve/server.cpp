@@ -1,15 +1,18 @@
 #include "serve/server.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
 #include "core/proteus.hpp"
+#include "obs/log.hpp"
 #include "rt/trap.hpp"
 #include "vm/module_io.hpp"
 
@@ -134,25 +137,106 @@ Json::Array callable_functions(const CacheEntry& entry) {
   return names;
 }
 
+/// Flat JSON object of a registry: scalar counters/gauges plus the
+/// histogram summaries under the same dotted-suffix scheme as
+/// MetricsRegistry::write_json (docs/OBSERVABILITY.md).
 Json metrics_object(const obs::MetricsRegistry& metrics) {
   Json::Object obj;
   for (const auto& [name, value] : metrics.all()) obj[name] = value;
+  for (const auto& [name, h] : metrics.histograms()) {
+    obj[name + ".count"] = h.count();
+    obj[name + ".max"] = h.max();
+    obj[name + ".min"] = h.min();
+    obj[name + ".p50"] = h.p50();
+    obj[name + ".p95"] = h.p95();
+    obj[name + ".p99"] = h.p99();
+    obj[name + ".sum"] = h.sum();
+  }
   return Json(std::move(obj));
+}
+
+/// One recorded trace event as a Chrome trace-event object — the JSON
+/// twin of Tracer::write_chrome_trace, producing serve::Json values the
+/// reply can embed ("ts"/"dur" in microseconds as doubles).
+Json chrome_event(const obs::TraceEvent& e) {
+  Json::Object ev;
+  ev["name"] = e.name;
+  ev["cat"] = e.cat;
+  const bool is_span = e.kind == obs::TraceEvent::Kind::kSpan;
+  ev["ph"] = is_span ? "X" : "i";
+  ev["pid"] = 1;
+  ev["tid"] = static_cast<std::uint64_t>(e.tid);
+  ev["ts"] = static_cast<double>(e.start_ns) / 1000.0;
+  if (is_span) {
+    ev["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
+  } else {
+    ev["s"] = "t";
+  }
+  Json::Object args;
+  for (const obs::Counter& c : e.counters) args[c.first] = c.second;
+  if (!e.text.empty()) args["expr"] = e.text;
+  ev["args"] = Json(std::move(args));
+  return Json(std::move(ev));
 }
 
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_dir) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_dir),
+      started_(Clock::now()),
+      rid_base_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count())) {
+  if (options_.telemetry) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    h_request_us_ = metrics_.histogram_handle("serve.request.duration_us");
+    h_eval_us_ = metrics_.histogram_handle("serve.eval.duration_us");
+    h_compile_us_ = metrics_.histogram_handle("serve.compile.duration_us");
+    h_eval_hit_us_ = metrics_.histogram_handle("serve.eval.hit.duration_us");
+    h_eval_miss_us_ = metrics_.histogram_handle("serve.eval.miss.duration_us");
+  }
+}
 
 void Server::count(const std::string& name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   metrics_.add(name, delta);
 }
 
-obs::MetricsRegistry Server::metrics() const {
+void Server::observe_metric(const std::string& name, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(metrics_mu_);
-  return metrics_;
+  metrics_.observe(name, value);
+}
+
+obs::MetricsRegistry Server::metrics() const {
+  obs::MetricsRegistry snapshot;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    snapshot = metrics_;
+  }
+  // Gauges are stamped on the snapshot, outside the lock: point-in-time
+  // values, not part of the accumulated registry.
+  snapshot.set_gauge(
+      "serve.uptime_seconds",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                           started_)
+              .count()));
+  snapshot.set_gauge("serve.requests_inflight",
+                     inflight_.load(std::memory_order_relaxed));
+  return snapshot;
+}
+
+bool Server::sampled(std::uint64_t seq) const {
+  const double rate = options_.trace_sample_rate;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Deterministic, exactly rate-proportional over any prefix: request
+  // `seq` is sampled iff the integer part of seq*rate advanced.
+  const double prev = std::floor(static_cast<double>(seq - 1) * rate);
+  const double cur = std::floor(static_cast<double>(seq) * rate);
+  return cur > prev;
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -161,13 +245,137 @@ std::string Server::handle_line(const std::string& line) {
   if (!request.has_value()) {
     count("serve.requests");
     count("serve.errors.parse");
-    return error_reply(Json(), error_value("parse", "", parse_error)).dump();
+    Json reply = error_reply(Json(), error_value("parse", "", parse_error));
+    if (options_.telemetry) {
+      const std::uint64_t seq =
+          seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::string request_id =
+          vm::hash_hex(rid_base_ ^ (seq * 0x9E3779B97F4A7C15ULL));
+      if (Json::Object* obj = reply.if_object()) {
+        (*obj)["request_id"] = request_id;
+      }
+      if (obs::log_enabled(obs::LogLevel::kWarn)) {
+        obs::log(obs::LogLevel::kWarn, "serve.request",
+                 {{"request_id", request_id},
+                  {"op", "(parse)"},
+                  {"ok", std::uint64_t{0}},
+                  {"error_kind", "parse"},
+                  {"message", parse_error}});
+      }
+    }
+    return reply.dump();
   }
   return handle_request(*request).dump();
 }
 
 Json Server::handle_request(const Json& request) {
   count("serve.requests");
+  if (!options_.telemetry) return dispatch_op(request);
+
+  // The telemetry envelope: a request id, the inflight gauge, the
+  // duration histograms, one log line, and — for sampled requests — a
+  // per-request tracer installed as this thread's sink so concurrent
+  // workers never interleave spans.
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string request_id =
+      vm::hash_hex(rid_base_ ^ (seq * 0x9E3779B97F4A7C15ULL));
+  const std::string& op = request.get("op").as_string();
+
+  struct InflightGuard {
+    std::atomic<std::uint64_t>& gauge;
+    explicit InflightGuard(std::atomic<std::uint64_t>& g) : gauge(g) {
+      gauge.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InflightGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard(inflight_);
+
+  const Clock::time_point start = Clock::now();
+  if (sampled(seq)) {
+    obs::Tracer request_tracer;
+    const obs::ThreadTracerScope scope(&request_tracer);
+    Json reply = dispatch_op(request);
+    return finish_request(request, std::move(reply), request_id, op,
+                          elapsed_ns(start) / 1000, &request_tracer);
+  }
+  Json reply = dispatch_op(request);
+  return finish_request(request, std::move(reply), request_id, op,
+                        elapsed_ns(start) / 1000, nullptr);
+}
+
+Json Server::finish_request(const Json& request, Json reply,
+                            const std::string& request_id,
+                            const std::string& op, std::uint64_t duration_us,
+                            obs::Tracer* request_tracer) {
+  if (Json::Object* obj = reply.if_object()) {
+    (*obj)["request_id"] = request_id;
+  }
+
+  const bool ok = reply.get("ok").as_bool(false);
+  const bool cached = reply.get("cached").as_bool(false);
+  {
+    // One lock acquisition for all of this request's observations,
+    // through the handles pre-registered at construction — the
+    // unsampled fast path pays a lock and a few array increments, not
+    // name lookups or string temporaries.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    h_request_us_->observe(duration_us);
+    if (op == "eval") {
+      h_eval_us_->observe(duration_us);
+      if (ok) {
+        (cached ? h_eval_hit_us_ : h_eval_miss_us_)->observe(duration_us);
+      }
+    } else if (op == "compile") {
+      h_compile_us_->observe(duration_us);
+    }
+  }
+
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    std::vector<obs::LogField> fields;
+    fields.reserve(8);
+    fields.emplace_back("request_id", request_id);
+    fields.emplace_back("op", op);
+    fields.emplace_back("ok", static_cast<std::uint64_t>(ok ? 1 : 0));
+    fields.emplace_back("duration_us", duration_us);
+    if (op == "eval" || op == "compile") {
+      fields.emplace_back("cache", cached ? "hit" : "miss");
+    }
+    if (reply.has("engine")) {
+      fields.emplace_back("engine", reply.get("engine").as_string());
+    }
+    if (!ok) {
+      const Json& error = reply.get("error");
+      fields.emplace_back("error_kind", error.get("kind").as_string());
+      const std::string& code = error.get("code").as_string();
+      if (!code.empty()) fields.emplace_back("error_code", code);
+    }
+    if (request_tracer != nullptr) fields.emplace_back("sampled", "true");
+    obs::log(obs::LogLevel::kInfo, "serve.request", fields);
+  }
+
+  if (request_tracer != nullptr && options_.trace_ring_capacity > 0) {
+    RequestTrace trace;
+    trace.request_id = request_id;
+    trace.op = op;
+    trace.duration_us = duration_us;
+    trace.events = request_tracer->events();
+    std::uint64_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_ring_.push_back(std::move(trace));
+      while (trace_ring_.size() > options_.trace_ring_capacity) {
+        trace_ring_.pop_front();
+        ++dropped;
+      }
+    }
+    count("serve.trace.sampled");
+    if (dropped > 0) count("serve.trace.dropped", dropped);
+  }
+
+  (void)request;
+  return reply;
+}
+
+Json Server::dispatch_op(const Json& request) {
   const std::string& op = request.get("op").as_string();
   if (op == "ping") {
     Json::Object reply;
@@ -178,16 +386,8 @@ Json Server::handle_request(const Json& request) {
   }
   if (op == "compile") return do_compile(request);
   if (op == "eval") return do_eval(request);
-  if (op == "metrics") {
-    Json reply = do_metrics();
-    // do_metrics has no access to the request envelope; splice the id in.
-    if (request.has("id")) {
-      Json::Object obj = reply.as_object();
-      obj["id"] = request.get("id");
-      return Json(std::move(obj));
-    }
-    return reply;
-  }
+  if (op == "metrics") return do_metrics(request);
+  if (op == "trace") return do_trace(request);
   if (op == "shutdown") {
     request_stop();
     Json::Object reply;
@@ -201,7 +401,7 @@ Json Server::handle_request(const Json& request) {
                      error_value("bad_request", "",
                                  "unknown op '" + op +
                                      "' (expected ping/compile/eval/"
-                                     "metrics/shutdown)"));
+                                     "metrics/trace/shutdown)"));
 }
 
 std::optional<CacheEntry> Server::obtain(const Json& req, std::uint64_t* key,
@@ -408,14 +608,79 @@ Json Server::do_eval(const Json& req) {
   }
 }
 
-Json Server::do_metrics() {
-  Json::Object reply;
-  reply["ok"] = true;
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    reply["metrics"] = metrics_object(metrics_);
+Json Server::do_metrics(const Json& req) {
+  const Json& format = req.get("format");
+  if (!format.is_null() && format.as_string() != "json" &&
+      format.as_string() != "openmetrics") {
+    count("serve.errors.bad_request");
+    return error_reply(
+        req, error_value("bad_request", "",
+                         "unknown metrics format '" + format.as_string() +
+                             "' (expected json or openmetrics)"));
   }
-  reply["cache_entries"] = static_cast<std::uint64_t>(cache_.size());
+
+  // Snapshot under the lock (inside metrics()), render outside it: an
+  // expensive exposition must not stall request workers.
+  const obs::MetricsRegistry snapshot = metrics();
+  Json::Object reply;
+  if (req.has("id")) reply["id"] = req.get("id");
+  reply["ok"] = true;
+  if (format.as_string() == "openmetrics") {
+    std::ostringstream body;
+    snapshot.write_openmetrics(body);
+    reply["content_type"] =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    reply["body"] = body.str();
+  } else {
+    reply["metrics"] = metrics_object(snapshot);
+    reply["cache_entries"] = static_cast<std::uint64_t>(cache_.size());
+  }
+  return Json(std::move(reply));
+}
+
+Json Server::do_trace(const Json& req) {
+  const std::string& want = req.get("request_id").as_string();
+  const std::int64_t limit = req.get("limit").as_int(0);
+  if (req.has("limit") && limit <= 0) {
+    count("serve.errors.bad_request");
+    return error_reply(
+        req, error_value("bad_request", "", "\"limit\" must be positive"));
+  }
+
+  std::vector<RequestTrace> picked;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    for (const RequestTrace& t : trace_ring_) {
+      if (want.empty() || t.request_id == want) picked.push_back(t);
+    }
+  }
+  if (limit > 0 && picked.size() > static_cast<std::size_t>(limit)) {
+    // Keep the most recent `limit` traces.
+    picked.erase(picked.begin(),
+                 picked.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+
+  Json::Array traces;
+  traces.reserve(picked.size());
+  for (const RequestTrace& t : picked) {
+    Json::Array events;
+    events.reserve(t.events.size());
+    for (const obs::TraceEvent& e : t.events) events.push_back(chrome_event(e));
+    Json::Object doc;
+    doc["traceEvents"] = Json(std::move(events));
+    doc["displayTimeUnit"] = "ms";
+    Json::Object entry;
+    entry["request_id"] = t.request_id;
+    entry["op"] = t.op;
+    entry["duration_us"] = t.duration_us;
+    entry["trace"] = Json(std::move(doc));
+    traces.push_back(Json(std::move(entry)));
+  }
+
+  Json::Object reply;
+  if (req.has("id")) reply["id"] = req.get("id");
+  reply["ok"] = true;
+  reply["traces"] = Json(std::move(traces));
   return Json(std::move(reply));
 }
 
@@ -443,12 +708,11 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-}  // namespace
-
-int Server::serve_tcp(const std::string& host, int port,
-                      std::ostream& announce) {
+/// Binds + listens on host:port; returns the fd (or -1) and the bound
+/// port via *bound_port (for port 0 requests).
+int listen_on(const std::string& host, int port, int* bound_port) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) return 1;
+  if (listen_fd < 0) return -1;
   const int one = 1;
   ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -457,19 +721,29 @@ int Server::serve_tcp(const std::string& host, int port,
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(listen_fd);
-    return 1;
+    return -1;
   }
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0 ||
       ::listen(listen_fd, 16) != 0) {
     ::close(listen_fd);
-    return 1;
+    return -1;
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof bound;
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  announce << "proteusd listening on " << ntohs(bound.sin_port) << "\n"
-           << std::flush;
+  *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  return listen_fd;
+}
+
+}  // namespace
+
+int Server::serve_tcp(const std::string& host, int port,
+                      std::ostream& announce) {
+  int bound_port = 0;
+  const int listen_fd = listen_on(host, port, &bound_port);
+  if (listen_fd < 0) return 1;
+  announce << "proteusd listening on " << bound_port << "\n" << std::flush;
 
   // Connection queue + worker pool. Workers own one connection at a time
   // and call handle_line per request line (handle_line is thread-safe).
@@ -538,10 +812,74 @@ int Server::serve_tcp(const std::string& host, int port,
   return 0;
 }
 
+int Server::serve_metrics_http(const std::string& host, int port,
+                               std::ostream& announce) {
+  int bound_port = 0;
+  const int listen_fd = listen_on(host, port, &bound_port);
+  if (listen_fd < 0) return 1;
+  metrics_port_.store(bound_port, std::memory_order_release);
+  announce << "proteusd metrics on " << bound_port << "\n" << std::flush;
+
+  // Scrapes are rare (Prometheus default: every 15s), so one thread
+  // serving one connection at a time is plenty.
+  while (!stopping()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // re-check stop 5x/second
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Read the request head (bounded; a scraper's GET fits in one read).
+    std::string head;
+    char chunk[4096];
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+      pollfd cfd{conn, POLLIN, 0};
+      if (::poll(&cfd, 1, 1000) <= 0) break;
+      const ssize_t n = ::read(conn, chunk, sizeof chunk);
+      if (n <= 0) break;
+      head.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    const bool is_metrics = head.rfind("GET /metrics ", 0) == 0 ||
+                            head.rfind("GET /metrics\r", 0) == 0 ||
+                            head.rfind("GET /metrics HTTP", 0) == 0;
+    std::string response;
+    if (is_metrics) {
+      std::ostringstream body;
+      metrics().write_openmetrics(body);
+      const std::string text = body.str();
+      response =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: application/openmetrics-text; version=1.0.0; "
+          "charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(text.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          text;
+    } else {
+      response =
+          "HTTP/1.0 404 Not Found\r\n"
+          "Content-Type: text/plain\r\n"
+          "Content-Length: 10\r\n"
+          "Connection: close\r\n\r\nnot found\n";
+    }
+    (void)write_all(conn, response);
+    ::close(conn);
+  }
+
+  ::close(listen_fd);
+  return 0;
+}
+
 #else  // _WIN32
 
 int Server::serve_tcp(const std::string&, int, std::ostream&) {
   return 1;  // TCP transport is POSIX-only; use --stdio.
+}
+
+int Server::serve_metrics_http(const std::string&, int, std::ostream&) {
+  return 1;  // POSIX-only, like serve_tcp.
 }
 
 #endif

@@ -9,6 +9,9 @@
 //     --stdio`): what the CI smoke job and the tests drive.
 //   * serve_tcp — a listener plus a small worker pool; each worker owns
 //     one connection at a time and calls handle_line per request line.
+//   * serve_metrics_http — an optional second listener (`--metrics-port`)
+//     answering HTTP `GET /metrics` with the OpenMetrics exposition, so
+//     a stock Prometheus can scrape the daemon.
 //
 // handle_line is fully thread-safe and is also the unit the concurrency
 // tests hammer directly (no sockets needed): the cache is mutex-guarded,
@@ -19,6 +22,16 @@
 // daemon keeps serving (the per-thread governor refactor in
 // rt/governor.hpp is what makes budgets request-local).
 //
+// Telemetry (docs/OBSERVABILITY.md): every request gets a server-assigned
+// `request_id` echoed in its reply, a latency observation into the
+// serve.*.duration_us histograms (hit/miss split for evals), and — when
+// structured logging is configured — one NDJSON log line. Requests
+// sampled at `trace_sample_rate` additionally record their spans into a
+// per-request tracer (obs::ThreadTracerScope, so concurrent workers never
+// share a sink) kept in a bounded ring and served back as Chrome-trace
+// JSON by {"op":"trace"} — a slow production request can be opened in
+// Perfetto after the fact.
+//
 // Protocol (one JSON object per line; full schema in docs/SERVING.md):
 //
 //   {"op":"ping"}
@@ -26,19 +39,25 @@
 //   {"op":"eval","source":...|"key":"<16 hex>","fun":"f","args":["[1,2]"],
 //    "budget":{"steps":..,"bytes":..,"depth":..,"deadline_ms":..}?}
 //   {"op":"eval","source":...,"entry":"f(3)"}        (entry evaluation)
-//   {"op":"metrics"}   {"op":"shutdown"}
+//   {"op":"metrics"}   {"op":"metrics","format":"openmetrics"}
+//   {"op":"trace","request_id":"<16 hex>"?,"limit":N?}
+//   {"op":"shutdown"}
 //
 // Every request may carry an "id", echoed verbatim in the reply.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <istream>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "rt/governor.hpp"
 #include "serve/cache.hpp"
 #include "serve/json.hpp"
@@ -57,6 +76,17 @@ struct ServerOptions {
   /// Ceiling applied to every request. A request's own "budget" object
   /// may only tighten these (a client cannot out-budget the daemon).
   rt::ExecBudget max_budget;
+  /// Master switch for the per-request telemetry wrapper (request ids,
+  /// histograms, logs, sampling). Off = PR 6 request path exactly
+  /// (proteusd --no-telemetry; bench_obs_overhead's baseline).
+  bool telemetry = true;
+  /// Fraction of requests whose spans are recorded into the trace ring
+  /// (0 = never, 1 = every request). Sampling is deterministic in the
+  /// request sequence number, not random.
+  double trace_sample_rate = 0.0;
+  /// Bounded ring of most-recent sampled request traces served by
+  /// {"op":"trace"}.
+  std::size_t trace_ring_capacity = 32;
 };
 
 class Server {
@@ -67,7 +97,9 @@ class Server {
   /// trailing newline). Never throws; thread-safe.
   [[nodiscard]] std::string handle_line(const std::string& line);
 
-  /// Structured form of handle_line for in-process callers/tests.
+  /// Structured form of handle_line for in-process callers/tests. With
+  /// telemetry on this is the per-request wrapper: request_id assignment,
+  /// duration histograms, log line, trace sampling.
   [[nodiscard]] Json handle_request(const Json& request);
 
   /// Reads request lines from `in` until EOF or a shutdown request,
@@ -80,22 +112,50 @@ class Server {
   /// shutdown request. Returns 0 on a clean finish, 1 on socket failure.
   int serve_tcp(const std::string& host, int port, std::ostream& announce);
 
+  /// Binds `host:port` and answers HTTP `GET /metrics` with the
+  /// OpenMetrics exposition (anything else is a 404) until a shutdown
+  /// request. Announces "proteusd metrics on <port>" on `announce`.
+  /// Returns 0 on a clean finish, 1 on socket failure. Run it on its own
+  /// thread next to serve_tcp/serve_stdio.
+  int serve_metrics_http(const std::string& host, int port,
+                         std::ostream& announce);
+
+  /// Port serve_metrics_http bound (for tests); -1 until bound.
+  [[nodiscard]] int metrics_http_port() const {
+    return metrics_port_.load(std::memory_order_acquire);
+  }
+
   /// Makes the transports wind down after the in-flight request.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
   [[nodiscard]] bool stopping() const {
     return stop_.load(std::memory_order_relaxed);
   }
 
-  /// Snapshot of the serve.* counters (docs/OBSERVABILITY.md).
+  /// Snapshot of the serve.* counters, histograms, and gauges
+  /// (docs/OBSERVABILITY.md). The registry is copied under the lock;
+  /// uptime/inflight gauges are stamped after.
   [[nodiscard]] obs::MetricsRegistry metrics() const;
 
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] ModuleCache& cache() { return cache_; }
 
  private:
+  /// One sampled request's recorded spans, kept for {"op":"trace"}.
+  struct RequestTrace {
+    std::string request_id;
+    std::string op;
+    std::uint64_t duration_us = 0;
+    std::vector<obs::TraceEvent> events;
+  };
+
+  /// The op switch (ping/compile/eval/metrics/trace/shutdown) without
+  /// the telemetry envelope.
+  [[nodiscard]] Json dispatch_op(const Json& request);
+
   [[nodiscard]] Json do_compile(const Json& req);
   [[nodiscard]] Json do_eval(const Json& req);
-  [[nodiscard]] Json do_metrics();
+  [[nodiscard]] Json do_metrics(const Json& req);
+  [[nodiscard]] Json do_trace(const Json& req);
 
   /// Compiles (or cache-hits) the program of `req`; on failure fills
   /// `*error` with a structured error object and returns nullopt.
@@ -104,12 +164,41 @@ class Server {
                                                  bool* cache_hit, Json* error);
 
   void count(const std::string& name, std::uint64_t delta = 1);
+  void observe_metric(const std::string& name, std::uint64_t value);
+
+  /// True when request number `seq` (1-based) is trace-sampled:
+  /// deterministic, exactly rate-proportional over any prefix.
+  [[nodiscard]] bool sampled(std::uint64_t seq) const;
+
+  /// Records the telemetry of one finished request (histograms, log
+  /// line, trace ring) and stamps `request_id` into the reply.
+  [[nodiscard]] Json finish_request(const Json& request, Json reply,
+                                    const std::string& request_id,
+                                    const std::string& op,
+                                    std::uint64_t duration_us,
+                                    obs::Tracer* request_tracer);
 
   ServerOptions options_;
   ModuleCache cache_;
   mutable std::mutex metrics_mu_;
   obs::MetricsRegistry metrics_;
+  // Latency histograms, pre-registered at construction so the request
+  // path observes through stable pointers instead of name lookups.
+  // Valid for the server's lifetime (metrics_ is never cleared);
+  // observations still happen under metrics_mu_.
+  obs::Histogram* h_request_us_ = nullptr;
+  obs::Histogram* h_eval_us_ = nullptr;
+  obs::Histogram* h_compile_us_ = nullptr;
+  obs::Histogram* h_eval_hit_us_ = nullptr;
+  obs::Histogram* h_eval_miss_us_ = nullptr;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::chrono::steady_clock::time_point started_;
+  std::uint64_t rid_base_ = 0;  ///< request-id namespace, fixed per process
+  mutable std::mutex trace_mu_;
+  std::deque<RequestTrace> trace_ring_;
+  std::atomic<int> metrics_port_{-1};
 };
 
 }  // namespace proteus::serve

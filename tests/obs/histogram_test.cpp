@@ -1,0 +1,173 @@
+// histogram_test.cpp — the log-bucketed latency histogram behind
+// serve.*.duration_us: bucket boundaries, quantile estimation, merge,
+// and the invariants the OpenMetrics exporter depends on (cumulative
+// bucket monotonicity).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace proteus::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  // Bucket 0 holds only 0; bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(63), UINT64_MAX / 2);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64), UINT64_MAX);
+}
+
+TEST(HistogramTest, ObservePlacesValuesInTheRightBucket) {
+  Histogram h;
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2: [2, 3]
+  h.observe(3);    // bucket 2
+  h.observe(4);    // bucket 3: [4, 7]
+  h.observe(7);    // bucket 3
+  h.observe(8);    // bucket 4: [8, 15]
+  h.observe(UINT64_MAX);  // bucket 64
+
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 2u);
+  EXPECT_EQ(b[4], 1u);
+  EXPECT_EQ(b[64], 1u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  h.observe(10);
+  h.observe(20);
+  h.observe(5);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 35u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 20u);
+}
+
+TEST(HistogramTest, SingleValueQuantilesCollapseToIt) {
+  Histogram h;
+  h.observe(42);
+  // One observation: every quantile is clamped into [min, max] = [42, 42].
+  EXPECT_EQ(h.quantile(0.0), 42u);
+  EXPECT_EQ(h.p50(), 42u);
+  EXPECT_EQ(h.p95(), 42u);
+  EXPECT_EQ(h.p99(), 42u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBucketAccurate) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+
+  const std::uint64_t p50 = h.p50();
+  const std::uint64_t p95 = h.p95();
+  const std::uint64_t p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+
+  // The estimate can be off by at most one bucket width (2x): the true
+  // p50 of 1..1000 is 500, which lives in bucket [256, 511].
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 511u);
+  // True p99 is 990, bucket [512, 1023].
+  EXPECT_GE(p99, 512u);
+  EXPECT_LE(p99, 1023u);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRange) {
+  Histogram h;
+  h.observe(100);
+  h.observe(100);
+  h.observe(100);
+  // All mass at 100 (bucket [64, 127]): interpolation must not escape
+  // the observed [min, max] envelope.
+  EXPECT_EQ(h.p50(), 100u);
+  EXPECT_EQ(h.p99(), 100u);
+}
+
+TEST(HistogramTest, MergeFoldsEverything) {
+  Histogram a;
+  a.observe(1);
+  a.observe(1000);
+  Histogram b;
+  b.observe(7);
+  b.observe(2);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1010u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.buckets()[1], 1u);   // 1
+  EXPECT_EQ(a.buckets()[2], 1u);   // 2
+  EXPECT_EQ(a.buckets()[3], 1u);   // 7
+  EXPECT_EQ(a.buckets()[10], 1u);  // 1000
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.observe(5);
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 5u);
+
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5u);
+}
+
+TEST(HistogramTest, CumulativeBucketsAreMonotone) {
+  // The OpenMetrics exporter emits cumulative _bucket{le="..."} series;
+  // the per-bucket counts must sum to count() so the running sum is
+  // monotone and ends at count().
+  Histogram h;
+  const std::uint64_t values[] = {0, 1, 3, 9, 27, 81, 243, 729, 6561, 59049};
+  for (const std::uint64_t v : values) h.observe(v);
+
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    running += h.buckets()[i];
+    EXPECT_LE(running, h.count());
+  }
+  EXPECT_EQ(running, h.count());
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.observe(9);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.buckets()[4], 0u);
+}
+
+}  // namespace
+}  // namespace proteus::obs

@@ -1,0 +1,144 @@
+// log_test.cpp — the structured logger behind proteusd's per-request
+// lines: level filtering, the text and NDJSON formats, escaping, and
+// sink redirection. Tests configure the global logger onto a local
+// ostringstream and restore kOff afterwards so suites stay independent.
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace proteus::obs {
+namespace {
+
+/// RAII: point the global logger at a local buffer for one test, then
+/// silence it again.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, bool json) {
+    logger().configure(level, json, &buffer_);
+  }
+  ~LogCapture() { logger().configure(LogLevel::kOff, false, nullptr); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+};
+
+TEST(LogLevelTest, ParseRoundTrip) {
+  bool ok = false;
+  EXPECT_EQ(parse_log_level("debug", &ok), LogLevel::kDebug);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("info", &ok), LogLevel::kInfo);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("warn", &ok), LogLevel::kWarn);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("error", &ok), LogLevel::kError);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("off", &ok), LogLevel::kOff);
+  EXPECT_TRUE(ok);
+
+  EXPECT_EQ(parse_log_level("verbose", &ok), LogLevel::kOff);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(parse_log_level("", nullptr), LogLevel::kOff);
+
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level), &ok), level);
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(LoggerTest, OffByDefaultAndFiltering) {
+  EXPECT_FALSE(log_enabled(LogLevel::kError));  // global default is kOff
+
+  LogCapture capture(LogLevel::kWarn, false);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+
+  log(LogLevel::kInfo, "dropped", {});
+  log(LogLevel::kWarn, "kept", {});
+  const std::string out = capture.text();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("event=kept"), std::string::npos);
+}
+
+TEST(LoggerTest, TextFormatOneLinePerRecord) {
+  LogCapture capture(LogLevel::kInfo, false);
+  log(LogLevel::kInfo, "serve.request",
+      {{"op", "eval"}, {"duration_us", std::uint64_t{42}}});
+  const std::string out = capture.text();
+
+  // ts=<ISO8601> level=info event=serve.request op=eval duration_us=42
+  EXPECT_EQ(out.rfind("ts=", 0), 0u);
+  EXPECT_NE(out.find(" level=info "), std::string::npos);
+  EXPECT_NE(out.find(" event=serve.request "), std::string::npos);
+  EXPECT_NE(out.find(" op=eval "), std::string::npos);
+  EXPECT_NE(out.find(" duration_us=42\n"), std::string::npos);
+  EXPECT_EQ(out.find('\n'), out.size() - 1);  // exactly one line
+}
+
+TEST(LoggerTest, TextFormatQuotesValuesWithSpaces) {
+  LogCapture capture(LogLevel::kInfo, false);
+  log(LogLevel::kInfo, "trap",
+      {{"message", "budget exceeded at step 9"}, {"empty", ""}});
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("message=\"budget exceeded at step 9\""),
+            std::string::npos);
+  EXPECT_NE(out.find("empty=\"\""), std::string::npos);
+}
+
+TEST(LoggerTest, JsonFormatIsNdjson) {
+  LogCapture capture(LogLevel::kInfo, true);
+  log(LogLevel::kInfo, "serve.request",
+      {{"op", "eval"},
+       {"ok", std::uint64_t{1}},
+       {"delta", std::int64_t{-3}},
+       {"msg", "say \"hi\"\n"}});
+  const std::string out = capture.text();
+
+  EXPECT_EQ(out.rfind("{\"ts_ms\":", 0), 0u);
+  EXPECT_NE(out.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(out.find("\"event\":\"serve.request\""), std::string::npos);
+  EXPECT_NE(out.find("\"op\":\"eval\""), std::string::npos);
+  EXPECT_NE(out.find("\"ok\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"delta\":-3"), std::string::npos);
+  // Escaped: the quote and the newline must not appear raw.
+  EXPECT_NE(out.find("\"msg\":\"say \\\"hi\\\"\\n\""), std::string::npos);
+  EXPECT_EQ(out.find('\n'), out.size() - 1);  // one line, despite the \n value
+}
+
+TEST(LoggerTest, VectorFieldOverload) {
+  LogCapture capture(LogLevel::kInfo, true);
+  std::vector<LogField> fields;
+  fields.emplace_back("a", std::uint64_t{1});
+  fields.emplace_back("b", "two");
+  log(LogLevel::kInfo, "vec", fields);
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("\"a\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"b\":\"two\""), std::string::npos);
+}
+
+TEST(LoggerTest, ReconfigureSwitchesFormatAndLevel) {
+  std::ostringstream first;
+  logger().configure(LogLevel::kDebug, false, &first);
+  log(LogLevel::kDebug, "text.record", {});
+  EXPECT_EQ(first.str().rfind("ts=", 0), 0u);
+
+  std::ostringstream second;
+  logger().configure(LogLevel::kError, true, &second);
+  log(LogLevel::kWarn, "filtered", {});
+  log(LogLevel::kError, "json.record", {});
+  EXPECT_EQ(second.str().rfind("{\"ts_ms\":", 0), 0u);
+  EXPECT_EQ(second.str().find("filtered"), std::string::npos);
+
+  logger().configure(LogLevel::kOff, false, nullptr);
+}
+
+}  // namespace
+}  // namespace proteus::obs

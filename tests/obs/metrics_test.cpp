@@ -1,11 +1,14 @@
 // metrics_test.cpp — the flat metric registry every engine publishes
-// through: set/add semantics, zero-default reads, and the text and JSON
-// renderings --stats is built on.
+// through: set/add semantics, zero-default reads, the text and JSON
+// renderings --stats is built on, plus the ISSUE 7 additions — gauges,
+// histograms (flattened into the text/JSON schema), and the
+// OpenMetrics exposition Prometheus scrapes.
 #include "obs/obs.hpp"
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 namespace proteus::obs {
 namespace {
@@ -52,6 +55,146 @@ TEST(MetricsRegistryTest, WriteJsonFlatObject) {
   std::ostringstream os;
   m.write_json(os);
   EXPECT_EQ(os.str(), "{\"vec.calls\":3,\"vl.element_work\":900}");
+}
+
+TEST(MetricsRegistryTest, WriteJsonEscapesNames) {
+  MetricsRegistry m;
+  m.set("weird\"name\n", 1);
+  std::ostringstream os;
+  m.write_json(os);
+  EXPECT_EQ(os.str(), "{\"weird\\\"name\\n\":1}");
+}
+
+TEST(MetricsRegistryTest, GaugesShareTheScalarNamespace) {
+  MetricsRegistry m;
+  m.set_gauge("serve.uptime_seconds", 12);
+  m.set("serve.requests", 3);
+  EXPECT_EQ(m.get("serve.uptime_seconds"), 12u);
+  EXPECT_TRUE(m.is_gauge("serve.uptime_seconds"));
+  EXPECT_FALSE(m.is_gauge("serve.requests"));
+
+  // Text/JSON render gauges like any other scalar.
+  std::ostringstream os;
+  m.write_text(os);
+  EXPECT_EQ(os.str(), "serve.requests 3\nserve.uptime_seconds 12\n");
+}
+
+TEST(MetricsRegistryTest, ObserveCreatesAndFillsHistogram) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.histogram("lat"), nullptr);
+  m.observe("lat", 3);
+  m.observe("lat", 5);
+  const Histogram* h = m.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->sum(), 8u);
+  EXPECT_FALSE(m.empty());  // histogram-only registry is non-empty
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.histogram("lat"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramHandleObservesInPlace) {
+  MetricsRegistry m;
+  Histogram* h = m.histogram_handle("serve.request.duration_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->empty());  // pre-registered, not yet observed
+  h->observe(7);
+  // Same underlying histogram as the name-based lookups.
+  EXPECT_EQ(m.histogram("serve.request.duration_us")->count(), 1u);
+  EXPECT_EQ(m.histogram_handle("serve.request.duration_us"), h);
+}
+
+TEST(MetricsRegistryTest, TextAndJsonFlattenHistograms) {
+  MetricsRegistry m;
+  m.set("vec.calls", 2);
+  m.observe("lat", 10);
+  m.observe("lat", 20);
+
+  std::ostringstream text;
+  m.write_text(text);
+  EXPECT_EQ(text.str(),
+            "lat.count 2\n"
+            "lat.max 20\n"
+            "lat.min 10\n"
+            "lat.p50 15\n"
+            "lat.p95 20\n"
+            "lat.p99 20\n"
+            "lat.sum 30\n"
+            "vec.calls 2\n");
+
+  std::ostringstream json;
+  m.write_json(json);
+  const std::string out = json.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"lat.count\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"lat.sum\":30"), std::string::npos);
+  EXPECT_NE(out.find("\"vec.calls\":2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, OpenMetricsEmptyRegistryIsJustEof) {
+  MetricsRegistry m;
+  std::ostringstream os;
+  m.write_openmetrics(os);
+  EXPECT_EQ(os.str(), "# EOF\n");
+}
+
+TEST(MetricsRegistryTest, OpenMetricsCountersGaugesHistograms) {
+  MetricsRegistry m;
+  m.set("serve.requests", 5);
+  m.set_gauge("serve.requests_inflight", 1);
+  m.observe("serve.eval.duration_us", 3);   // bucket le="3"
+  m.observe("serve.eval.duration_us", 3);
+  m.observe("serve.eval.duration_us", 10);  // bucket le="15"
+
+  std::ostringstream os;
+  m.write_openmetrics(os);
+  EXPECT_EQ(os.str(),
+            "# TYPE serve_requests counter\n"
+            "serve_requests_total 5\n"
+            "# TYPE serve_requests_inflight gauge\n"
+            "serve_requests_inflight 1\n"
+            "# TYPE serve_eval_duration_us histogram\n"
+            "serve_eval_duration_us_bucket{le=\"3\"} 2\n"
+            "serve_eval_duration_us_bucket{le=\"15\"} 3\n"
+            "serve_eval_duration_us_bucket{le=\"+Inf\"} 3\n"
+            "serve_eval_duration_us_sum 16\n"
+            "serve_eval_duration_us_count 3\n"
+            "# EOF\n");
+}
+
+TEST(MetricsRegistryTest, OpenMetricsBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry m;
+  for (std::uint64_t v : {1u, 2u, 4u, 8u, 16u, 300u}) m.observe("h", v);
+  std::ostringstream os;
+  m.write_openmetrics(os);
+  const std::string out = os.str();
+
+  // Every emitted bucket count must be <= the next one, ending at count.
+  std::uint64_t previous = 0;
+  std::size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = out.find("h_bucket{le=", pos)) != std::string::npos) {
+    const std::size_t space = out.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t value = std::stoull(out.substr(space + 2));
+    EXPECT_GE(value, previous);
+    previous = value;
+    ++buckets_seen;
+    pos = space;
+  }
+  EXPECT_GE(buckets_seen, 2);
+  EXPECT_EQ(previous, 6u);  // the +Inf bucket carries the total count
+  EXPECT_NE(out.find("h_count 6\n"), std::string::npos);
+}
+
+TEST(OpenMetricsNameTest, ManglesToMetricCharset) {
+  EXPECT_EQ(openmetrics_name("serve.eval.duration_us"),
+            "serve_eval_duration_us");
+  EXPECT_EQ(openmetrics_name("vm.op.+.count"), "vm_op___count");
+  EXPECT_EQ(openmetrics_name("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(openmetrics_name("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(openmetrics_name(""), "_");
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 namespace proteus::obs {
 namespace {
@@ -136,6 +137,78 @@ TEST(TracerTest, ChromeTraceShape) {
   EXPECT_NE(json.find("\"source_bytes\":7"), std::string::npos);
   EXPECT_NE(json.find("\"expr\":\"a\\\"b\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ThreadTracerScopeTest, OverridesGlobalSinkOnThisThread) {
+  Tracer global;
+  Tracer local;
+  TracerScope g(&global);
+  {
+    ThreadTracerScope scope(&local);
+    EXPECT_EQ(tracer(), &local);
+    Span span("serve", "handled");
+  }
+  EXPECT_EQ(tracer(), &global);
+  EXPECT_EQ(local.event_count(), 1u);
+  EXPECT_EQ(global.event_count(), 0u);
+}
+
+TEST(ThreadTracerScopeTest, NullIsNoOverride) {
+  Tracer global;
+  TracerScope g(&global);
+  {
+    ThreadTracerScope scope(nullptr);
+    EXPECT_EQ(tracer(), &global);  // falls through to the global sink
+  }
+  EXPECT_EQ(tracer(), &global);
+}
+
+TEST(ThreadTracerScopeTest, NestedScopesRestoreInOrder) {
+  Tracer a;
+  Tracer b;
+  {
+    ThreadTracerScope sa(&a);
+    {
+      ThreadTracerScope sb(&b);
+      EXPECT_EQ(tracer(), &b);
+    }
+    EXPECT_EQ(tracer(), &a);
+  }
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(ThreadTracerScopeTest, ConcurrentThreadsRecordIntoTheirOwnSinks) {
+  // The serving daemon's per-request isolation: N workers, each with a
+  // thread-local tracer, never interleave events — even with a global
+  // sink installed underneath. Run under tsan in CI.
+  Tracer global;
+  TracerScope g(&global);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  std::vector<Tracer> locals(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([&locals, i] {
+      ThreadTracerScope scope(&locals[static_cast<std::size_t>(i)]);
+      for (int s = 0; s < kSpansPerThread; ++s) {
+        Span span("serve", "request");
+        span.counter("thread", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(global.event_count(), 0u);
+  for (int i = 0; i < kThreads; ++i) {
+    const auto& local = locals[static_cast<std::size_t>(i)];
+    EXPECT_EQ(local.event_count(),
+              static_cast<std::size_t>(kSpansPerThread));
+    for (const TraceEvent& e : local.events()) {
+      ASSERT_EQ(e.counters.size(), 1u);
+      EXPECT_EQ(e.counters[0].second, static_cast<std::uint64_t>(i));
+    }
+  }
 }
 
 TEST(JsonEscapeTest, EscapesSpecials) {

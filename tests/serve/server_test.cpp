@@ -328,5 +328,238 @@ TEST(ServeServer, StdioLoopServesUntilShutdown) {
   EXPECT_EQ(text.find("\"id\":2"), std::string::npos) << text;
 }
 
+// --- ISSUE 7 telemetry: request ids, latency histograms, the metrics
+// --- exposition ops, and the trace flight recorder.
+
+Json eval_sq(int n) {
+  return request({{"op", "eval"},
+                  {"source", kSource},
+                  {"fun", "sq"},
+                  {"args", args_of({std::to_string(n).c_str()})}});
+}
+
+TEST(ServeTelemetry, RequestIdsAreAssignedAndUnique) {
+  Server server;
+  const Json a = server.handle_request(request({{"op", "ping"}}));
+  const Json b = server.handle_request(request({{"op", "ping"}}));
+  const std::string id_a = a.get("request_id").as_string();
+  const std::string id_b = b.get("request_id").as_string();
+  EXPECT_EQ(id_a.size(), 16u) << a.dump();  // same hex shape as cache keys
+  EXPECT_EQ(id_b.size(), 16u);
+  EXPECT_NE(id_a, id_b);
+}
+
+TEST(ServeTelemetry, ErrorAndParseRepliesCarryRequestIds) {
+  Server server;
+  const Json bad = server.handle_request(request({{"op", "frobnicate"}}));
+  EXPECT_FALSE(bad.get("ok").as_bool(true));
+  EXPECT_EQ(bad.get("request_id").as_string().size(), 16u) << bad.dump();
+
+  // Even a line that never parsed gets an id the client can quote back.
+  const std::string reply = server.handle_line("{\"op\":");
+  EXPECT_NE(reply.find("\"request_id\":\""), std::string::npos) << reply;
+}
+
+TEST(ServeTelemetry, NoTelemetryMeansNoRequestIdsAndNoHistograms) {
+  ServerOptions options;
+  options.telemetry = false;
+  Server server(options);
+  const Json reply = server.handle_request(eval_sq(4));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.dump();
+  EXPECT_FALSE(reply.has("request_id"));
+  const obs::MetricsRegistry metrics = server.metrics();
+  EXPECT_EQ(metrics.histogram("serve.request.duration_us"), nullptr);
+  EXPECT_EQ(metrics.get("serve.requests"), 1u);  // counters still work
+}
+
+TEST(ServeTelemetry, LatencyHistogramsSplitEvalHitsFromMisses) {
+  Server server;
+  ASSERT_TRUE(server.handle_request(eval_sq(4)).get("ok").as_bool());
+  const Json hit = server.handle_request(eval_sq(4));
+  ASSERT_TRUE(hit.get("cached").as_bool()) << hit.dump();
+
+  const obs::MetricsRegistry metrics = server.metrics();
+  const obs::Histogram* requests =
+      metrics.histogram("serve.request.duration_us");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->count(), 2u);
+  EXPECT_EQ(metrics.histogram("serve.eval.duration_us")->count(), 2u);
+  EXPECT_EQ(metrics.histogram("serve.eval.miss.duration_us")->count(), 1u);
+  EXPECT_EQ(metrics.histogram("serve.eval.hit.duration_us")->count(), 1u);
+
+  // Point-in-time gauges are stamped on every snapshot; nothing is in
+  // flight from the caller's thread once handle_request returned.
+  EXPECT_TRUE(metrics.is_gauge("serve.uptime_seconds"));
+  EXPECT_TRUE(metrics.is_gauge("serve.requests_inflight"));
+  EXPECT_EQ(metrics.get("serve.requests_inflight"), 0u);
+}
+
+TEST(ServeTelemetry, MetricsOpFlattensHistogramsIntoJson) {
+  Server server;
+  ASSERT_TRUE(server.handle_request(eval_sq(3)).get("ok").as_bool());
+  const Json reply = server.handle_request(request({{"op", "metrics"}}));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.dump();
+  const Json& metrics = reply.get("metrics");
+  EXPECT_GE(metrics.get("serve.requests").as_int(), 1);
+  EXPECT_EQ(metrics.get("serve.eval.duration_us.count").as_int(), 1);
+  EXPECT_TRUE(metrics.has("serve.eval.duration_us.p50"));
+  EXPECT_TRUE(metrics.has("serve.eval.duration_us.p99"));
+  EXPECT_TRUE(metrics.has("serve.uptime_seconds"));
+}
+
+TEST(ServeTelemetry, OpenMetricsBodyMatchesRegistryExposition) {
+  Server server;
+  ASSERT_TRUE(server.handle_request(eval_sq(5)).get("ok").as_bool());
+  const Json reply = server.handle_request(
+      request({{"op", "metrics"}, {"format", "openmetrics"}}));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.dump();
+  EXPECT_EQ(reply.get("content_type").as_string(),
+            "application/openmetrics-text; version=1.0.0; charset=utf-8");
+  const std::string body = reply.get("body").as_string();
+  EXPECT_NE(body.find("# TYPE serve_eval_duration_us histogram"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("serve_eval_duration_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << body;
+  ASSERT_GE(body.size(), 6u);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+
+  // The op's body and MetricsRegistry::write_openmetrics agree line for
+  // line on the stable series (the eval histogram); volatile series —
+  // request counters, uptime, inflight — move between the two snapshots.
+  const auto eval_lines = [](const std::string& text) {
+    std::string picked;
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);) {
+      if (line.find("serve_eval_duration_us") != std::string::npos) {
+        picked += line + "\n";
+      }
+    }
+    return picked;
+  };
+  std::ostringstream direct;
+  server.metrics().write_openmetrics(direct);
+  EXPECT_EQ(eval_lines(body), eval_lines(direct.str()));
+  EXPECT_FALSE(eval_lines(body).empty());
+}
+
+TEST(ServeTelemetry, UnknownMetricsFormatIsABadRequest) {
+  Server server;
+  const Json reply = server.handle_request(
+      request({{"op", "metrics"}, {"format", "xml"}}));
+  EXPECT_FALSE(reply.get("ok").as_bool(true));
+  EXPECT_EQ(reply.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeTelemetry, SampledRequestsAreRetrievableAsChromeTraces) {
+  ServerOptions options;
+  options.trace_sample_rate = 1.0;
+  Server server(options);
+  const Json eval = server.handle_request(eval_sq(6));
+  ASSERT_TRUE(eval.get("ok").as_bool()) << eval.dump();
+  const std::string rid = eval.get("request_id").as_string();
+
+  const Json reply = server.handle_request(
+      request({{"op", "trace"}, {"request_id", rid}}));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.dump();
+  const Json::Array& traces = reply.get("traces").as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  const Json& entry = traces[0];
+  EXPECT_EQ(entry.get("request_id").as_string(), rid);
+  EXPECT_EQ(entry.get("op").as_string(), "eval");
+  EXPECT_GE(entry.get("duration_us").as_int(), 0);
+
+  // The embedded document is Chrome-trace shaped: Perfetto loads it.
+  const Json& doc = entry.get("trace");
+  EXPECT_EQ(doc.get("displayTimeUnit").as_string(), "ms");
+  const Json::Array& events = doc.get("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());  // a cold eval compiles: spans exist
+  for (const Json& e : events) {
+    const std::string& ph = e.get("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "i") << e.dump();
+    EXPECT_FALSE(e.get("name").as_string().empty());
+    EXPECT_TRUE(e.has("ts"));
+    if (ph == "X") {
+      EXPECT_TRUE(e.has("dur"));
+    }
+  }
+}
+
+TEST(ServeTelemetry, TraceRingIsBoundedAndLimitTakesTheMostRecent) {
+  ServerOptions options;
+  options.trace_sample_rate = 1.0;
+  options.trace_ring_capacity = 2;
+  Server server(options);
+  std::vector<std::string> rids;
+  for (int i = 1; i <= 4; ++i) {
+    const Json reply = server.handle_request(eval_sq(i));
+    ASSERT_TRUE(reply.get("ok").as_bool()) << reply.dump();
+    rids.push_back(reply.get("request_id").as_string());
+  }
+
+  // Only the newest `capacity` traces survive. (Trace requests are
+  // themselves sampled at rate 1, so query the ring oldest-first.)
+  const Json all = server.handle_request(request({{"op", "trace"}}));
+  const Json::Array& traces = all.get("traces").as_array();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].get("request_id").as_string(), rids[2]);
+  EXPECT_EQ(traces[1].get("request_id").as_string(), rids[3]);
+  EXPECT_GE(server.metrics().get("serve.trace.dropped"), 2u);
+
+  const Json evicted = server.handle_request(
+      request({{"op", "trace"}, {"request_id", rids[0]}}));
+  EXPECT_TRUE(evicted.get("traces").as_array().empty());
+
+  const Json limited = server.handle_request(
+      request({{"op", "trace"}, {"limit", 1}}));
+  EXPECT_EQ(limited.get("traces").as_array().size(), 1u);
+
+  const Json bad = server.handle_request(
+      request({{"op", "trace"}, {"limit", 0}}));
+  EXPECT_FALSE(bad.get("ok").as_bool(true));
+  EXPECT_EQ(bad.get("error").get("kind").as_string(), "bad_request");
+}
+
+TEST(ServeTelemetry, SamplingIsDeterministicInTheSequenceNumber) {
+  ServerOptions options;
+  options.trace_sample_rate = 0.5;
+  Server server(options);
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(server.handle_request(eval_sq(i)).get("ok").as_bool());
+  }
+  // floor(seq * 0.5) advances on every even seq: exactly half sampled.
+  const Json reply = server.handle_request(request({{"op", "trace"}}));
+  EXPECT_EQ(reply.get("traces").as_array().size(), 4u);
+  EXPECT_EQ(server.metrics().get("serve.trace.sampled"), 4u);
+}
+
+TEST(ServeTelemetry, UnsampledServersLeaveTheTraceRingEmpty) {
+  Server server;  // trace_sample_rate defaults to 0
+  ASSERT_TRUE(server.handle_request(eval_sq(2)).get("ok").as_bool());
+  const Json reply = server.handle_request(request({{"op", "trace"}}));
+  ASSERT_TRUE(reply.get("ok").as_bool());
+  EXPECT_TRUE(reply.get("traces").as_array().empty());
+  EXPECT_EQ(server.metrics().get("serve.trace.sampled"), 0u);
+}
+
+TEST(ServeTelemetry, RequestLogLinesAreStructured) {
+  std::ostringstream sink;
+  obs::logger().configure(obs::LogLevel::kInfo, true, &sink);
+  {
+    Server server;
+    ASSERT_TRUE(server.handle_request(eval_sq(7)).get("ok").as_bool());
+  }
+  obs::logger().configure(obs::LogLevel::kOff, false, nullptr);
+
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("\"event\":\"serve.request\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"op\":\"eval\""), std::string::npos);
+  EXPECT_NE(out.find("\"ok\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"cache\":\"miss\""), std::string::npos);
+  EXPECT_NE(out.find("\"request_id\":\""), std::string::npos);
+  EXPECT_NE(out.find("\"duration_us\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace proteus::serve

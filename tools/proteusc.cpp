@@ -45,6 +45,7 @@
 //   proteusc examples/programs/sort.p --entry '[k <- [1..5] : sqs(k)]' --dump vec
 //   proteusc examples/programs/sort.p --call quicksort '[3,1,2]' --engine vm --stats
 //   proteusc sort.p --call quicksort '[3,1,2]' --trace-json t.json --stats=json
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -105,7 +106,9 @@ namespace {
       "\n"
       "observability (docs/OBSERVABILITY.md):\n"
       "  --stats[=json]      print cost counters after the run (text on\n"
-      "                      stderr, or one JSON document on stdout)\n"
+      "                      stderr, or one JSON document on stdout),\n"
+      "                      including run.<engine>.duration_us wall-time\n"
+      "                      histograms (count/p50/p95/p99)\n"
       "  --trace-json FILE   write compile + runtime spans as a Chrome\n"
       "                      trace-event file (open in Perfetto)\n"
       "\n"
@@ -135,6 +138,13 @@ std::string read_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 void write_rule_counts_json(std::ostream& os,
@@ -328,6 +338,12 @@ int main(int argc, char** argv) {
     options.verify_vcode = verify_vcode;
     options.optimize_vcode = optimize_vcode;
 
+    // Tool-local wall-time distributions (run.<engine>.duration_us).
+    // These are machine-dependent, so they live in their own registry —
+    // never in the engine cost metrics, which must agree across
+    // backends — and render as separate "[stats]" histogram lines.
+    proteus::obs::MetricsRegistry timing;
+
     // Runs a deserialized module on the VM, driven by its serialized
     // signatures — no source forms, no pipeline.
     auto run_module =
@@ -336,6 +352,7 @@ int main(int argc, char** argv) {
       runner.set_budget(budget);
       if (tracing) runner.set_tracer(&tracer);
       proteus::interp::Value result;
+      const auto run_start = std::chrono::steady_clock::now();
       if (!call.empty()) {
         proteus::interp::ValueList values;
         for (const std::string& lit : call_args) {
@@ -345,9 +362,11 @@ int main(int argc, char** argv) {
       } else {
         result = runner.run_entry();
       }
+      timing.observe("run.vm.duration_us", elapsed_us(run_start));
       std::cout << result << '\n';
       if (stats) {
         proteus::print_stats_text(std::cerr, runner.last_cost(), "vm");
+        proteus::print_histograms_text(std::cerr, timing);
       }
       write_trace();
       return 0;
@@ -492,6 +511,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> run_reports;  // one JSON object per run
     auto run = [&](const std::string& eng) -> proteus::interp::Value {
       proteus::interp::Value result;
+      const auto run_start = std::chrono::steady_clock::now();
       if (!call.empty()) {
         proteus::interp::ValueList values;
         for (const std::string& lit : call_args) {
@@ -507,6 +527,7 @@ int main(int argc, char** argv) {
       } else {
         usage("nothing to run: give --entry or --call (or --dump)");
       }
+      timing.observe("run." + eng + ".duration_us", elapsed_us(run_start));
       for (const std::string& note : session.last_degradations()) {
         std::cerr << "proteusc: [degraded] " << note << '\n';
       }
@@ -557,6 +578,7 @@ int main(int argc, char** argv) {
                 << " fused chains (" << f.fused_prims << " prims), "
                 << f.eliminated_instrs << " instrs eliminated ("
                 << f.eliminated_moves << " moves)\n";
+      proteus::print_histograms_text(std::cerr, timing);
     }
 
     if (stats_json) {
@@ -577,7 +599,9 @@ int main(int argc, char** argv) {
         if (i > 0) std::cout << ',';
         std::cout << run_reports[i];
       }
-      std::cout << "],\"compile\":{\"rule_counts\":";
+      std::cout << "],\"timings\":";
+      timing.write_json(std::cout);
+      std::cout << ",\"compile\":{\"rule_counts\":";
       write_rule_counts_json(std::cout, session.compiled().rule_counts);
       const proteus::vm::FuseStats& f = session.compiled().fusion;
       std::cout << ",\"fusion\":{\"fused_chains\":" << f.fused_chains

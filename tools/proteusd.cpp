@@ -12,6 +12,13 @@
 //   proteusd --stdio                      # stdin/stdout (tests, CI smoke)
 //   proteusd --port 0                     # TCP; port 0 picks a free port
 //   proteusd --port 7571 --workers 4 --cache-dir /var/tmp/proteus-cache
+//   proteusd --port 0 --metrics-port 9090 --trace-sample-rate 0.01
+//
+// Telemetry (docs/OBSERVABILITY.md): every request gets a request_id,
+// latency histograms, and a structured log line on stderr; sampled
+// requests keep their span trace in a ring served by {"op":"trace"}.
+// --metrics-port starts a second listener answering HTTP GET /metrics
+// with the OpenMetrics exposition for Prometheus.
 //
 // Exit codes: 0 clean shutdown, 1 transport failure, 2 usage error.
 #include <cstdint>
@@ -19,7 +26,9 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "obs/log.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -33,6 +42,9 @@ void usage(std::ostream& os) {
         "                         the chosen port is announced on stdout)\n"
         "  --host ADDR            TCP bind address (default 127.0.0.1)\n"
         "  --workers N            TCP worker threads (default 2)\n"
+        "  --metrics-port N       also answer HTTP GET /metrics on --host:N\n"
+        "                         with the OpenMetrics text exposition\n"
+        "                         (0 picks a free port, announced on stderr)\n"
         "\n"
         "compilation and cache:\n"
         "  --cache-dir DIR        persist compiled modules as <hash>.pvcm\n"
@@ -41,6 +53,21 @@ void usage(std::ostream& os) {
         "  --no-optimize          skip the VCODE optimizer (-O0 modules)\n"
         "  --no-verify            skip bytecode verification of assembled\n"
         "                         and disk-loaded modules\n"
+        "\n"
+        "telemetry (docs/OBSERVABILITY.md):\n"
+        "  --log-level LVL        request/trap log threshold: debug, info,\n"
+        "                         warn, error, off (default info; logs go\n"
+        "                         to stderr)\n"
+        "  --log-json             structured NDJSON log lines instead of\n"
+        "                         key=value text\n"
+        "  --trace-sample-rate R  fraction of requests (0..1) whose span\n"
+        "                         trace is recorded for {\"op\":\"trace\"}\n"
+        "                         (default 0)\n"
+        "  --trace-ring N         keep the last N sampled request traces\n"
+        "                         (default 32)\n"
+        "  --no-telemetry         disable the per-request telemetry wrapper\n"
+        "                         entirely (request ids, histograms, logs,\n"
+        "                         sampling)\n"
         "\n"
         "per-request resource ceilings (0 = unlimited; a request's own\n"
         "\"budget\" object can tighten but never exceed these):\n"
@@ -57,7 +84,8 @@ void usage(std::ostream& os) {
         "  {\"op\":\"compile\",\"source\":\"fun f(n: int): int = n*n\"}\n"
         "  {\"op\":\"eval\",\"source\":\"...\",\"fun\":\"f\",\"args\":[\"7\"],\n"
         "   \"budget\":{\"steps\":100000}}\n"
-        "  {\"op\":\"metrics\"}   {\"op\":\"shutdown\"}\n";
+        "  {\"op\":\"metrics\"}   {\"op\":\"metrics\",\"format\":\"openmetrics\"}\n"
+        "  {\"op\":\"trace\",\"limit\":5}   {\"op\":\"shutdown\"}\n";
 }
 
 bool parse_u64(std::string_view s, std::uint64_t* out) {
@@ -71,6 +99,19 @@ bool parse_u64(std::string_view s, std::uint64_t* out) {
   return true;
 }
 
+bool parse_rate(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size() || v < 0.0 || v > 1.0) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,7 +119,11 @@ int main(int argc, char** argv) {
   bool stdio = false;
   bool have_port = false;
   int port = 0;
+  bool have_metrics_port = false;
+  int metrics_port = 0;
   std::string host = "127.0.0.1";
+  proteus::obs::LogLevel log_level = proteus::obs::LogLevel::kInfo;
+  bool log_json = false;
 
   auto need_value = [&](int i) -> const char* {
     if (i + 1 >= argc) {
@@ -104,6 +149,14 @@ int main(int argc, char** argv) {
       port = static_cast<int>(n);
       have_port = true;
       ++i;
+    } else if (arg == "--metrics-port") {
+      if (!parse_u64(need_value(i), &n) || n > 65535) {
+        std::cerr << "proteusd: --metrics-port needs 0..65535\n";
+        return 2;
+      }
+      metrics_port = static_cast<int>(n);
+      have_metrics_port = true;
+      ++i;
     } else if (arg == "--host") {
       host = need_value(i);
       ++i;
@@ -121,6 +174,32 @@ int main(int argc, char** argv) {
       options.optimize = false;
     } else if (arg == "--no-verify") {
       options.verify = false;
+    } else if (arg == "--log-level") {
+      bool ok = false;
+      log_level = proteus::obs::parse_log_level(need_value(i), &ok);
+      if (!ok) {
+        std::cerr << "proteusd: --log-level needs debug, info, warn, error,"
+                     " or off\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--log-json") {
+      log_json = true;
+    } else if (arg == "--trace-sample-rate") {
+      if (!parse_rate(need_value(i), &options.trace_sample_rate)) {
+        std::cerr << "proteusd: --trace-sample-rate needs 0..1\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--trace-ring") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 65536) {
+        std::cerr << "proteusd: --trace-ring needs 1..65536\n";
+        return 2;
+      }
+      options.trace_ring_capacity = static_cast<std::size_t>(n);
+      ++i;
+    } else if (arg == "--no-telemetry") {
+      options.telemetry = false;
     } else if (arg == "--max-budget-bytes") {
       if (!parse_u64(need_value(i), &n)) {
         std::cerr << "proteusd: --max-budget-bytes needs a number\n";
@@ -161,16 +240,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Request/trap logs go to stderr so --stdio's NDJSON stays clean.
+  proteus::obs::logger().configure(
+      options.telemetry ? log_level : proteus::obs::LogLevel::kOff, log_json,
+      &std::cerr);
+
   proteus::serve::Server server(options);
   if (!options.cache_dir.empty()) {
     std::cerr << "proteusd: module cache at " << options.cache_dir << "\n";
   }
+
+  // The metrics scrape endpoint runs on its own thread next to the main
+  // transport; its announce line goes to stderr so it never pollutes the
+  // --stdio NDJSON stream.
+  std::thread metrics_thread;
+  if (have_metrics_port) {
+    metrics_thread = std::thread([&server, host, metrics_port] {
+      if (server.serve_metrics_http(host, metrics_port, std::cerr) != 0) {
+        std::cerr << "proteusd: failed to bind metrics port\n";
+      }
+    });
+  }
+
+  int rc = 0;
   if (stdio) {
-    return server.serve_stdio(std::cin, std::cout);
+    rc = server.serve_stdio(std::cin, std::cout);
+  } else {
+    rc = server.serve_tcp(host, port, std::cout);
+    if (rc != 0) {
+      std::cerr << "proteusd: failed to bind " << host << ":" << port << "\n";
+    }
   }
-  const int rc = server.serve_tcp(host, port, std::cout);
-  if (rc != 0) {
-    std::cerr << "proteusd: failed to bind " << host << ":" << port << "\n";
-  }
+  server.request_stop();  // winds the metrics listener down too
+  if (metrics_thread.joinable()) metrics_thread.join();
   return rc;
 }
