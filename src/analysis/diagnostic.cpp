@@ -117,7 +117,10 @@ std::string Report::to_text() const {
   return out;
 }
 
-void Report::write_json(std::ostream& os) const {
+void Report::write_json(std::ostream& os) const { write_json(os, {}); }
+
+void Report::write_json(std::ostream& os,
+                        std::string_view extra_raw_json) const {
   os << "{\"verdict\":\"" << (ok() ? "ok" : "reject") << "\",\"errors\":"
      << error_count() << ",\"warnings\":" << warning_count()
      << ",\"diagnostics\":[";
@@ -132,7 +135,9 @@ void Report::write_json(std::ostream& os) const {
        << obs::json_escape(d.message) << "\",\"rule\":\""
        << obs::json_escape(d.rule) << "\"}";
   }
-  os << "]}";
+  os << "]";
+  if (!extra_raw_json.empty()) os << ',' << extra_raw_json;
+  os << "}";
 }
 
 namespace {

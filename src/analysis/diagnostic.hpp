@@ -88,6 +88,11 @@ class Report {
   ///    "diagnostics":[{...}, ...]}
   void write_json(std::ostream& os) const;
 
+  /// Same document with one extra top-level member spliced in before the
+  /// closing brace; `extra_raw_json` must be a complete `"key":value`
+  /// fragment (used by proteusc --analyze=json for the "memory" section).
+  void write_json(std::ostream& os, std::string_view extra_raw_json) const;
+
  private:
   /// Appends without dedup or event publishing (merge's workhorse).
   void append(Diagnostic d);

@@ -181,7 +181,8 @@ Value Session::run_vm(const std::string& name, const ValueList& args) {
     }
     // The pipeline already bytecode-verified the module at assembly
     // time; re-verifying on every run would tax the dispatch benches.
-    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false});
+    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false,
+                            vm_arena_, vm_admission_});
     vl::reset_stats();
     exec::VValue result;
     {
@@ -312,7 +313,8 @@ Value Session::run_entry_vm() {
     cost_ = RunCost{};
     // The pipeline already bytecode-verified the module at assembly
     // time; re-verifying on every run would tax the dispatch benches.
-    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false});
+    vm::VM machine(module, {prim_options_, vm_profile_, /*verify=*/false,
+                            vm_arena_, vm_admission_});
     vl::reset_stats();
     exec::VValue result;
     {
@@ -406,8 +408,8 @@ Value ModuleRunner::run_at(std::uint32_t index, const ValueList& args) {
   }
   // Verification happened at load (vm::load_module); re-verifying per run
   // would defeat the point of caching the module.
-  vm::VM machine(module_,
-                 {prim_options_, /*profile=*/false, /*verify=*/false});
+  vm::VM machine(module_, {prim_options_, /*profile=*/false,
+                           /*verify=*/false, vm_arena_, vm_admission_});
   vl::reset_stats();
   exec::VValue result;
   {

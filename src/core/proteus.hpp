@@ -96,6 +96,18 @@ class Session {
   /// (one clock read per instruction; off by default).
   void set_vm_profile(bool enabled) { vm_profile_ = enabled; }
 
+  /// Enables plan-backed arena execution on subsequent run_vm calls:
+  /// dead registers clear at their statically known last use and freed
+  /// buffers recycle through a per-evaluation arena sized from the
+  /// memory plan (vl.buffer_allocs drops; results are bit-identical).
+  /// Off by default. See docs/VM.md.
+  void set_arena(bool enabled) { vm_arena_ = enabled; }
+
+  /// Enables plan-based admission control on subsequent run_vm calls:
+  /// a call whose static peak-resident bound already exceeds the
+  /// budget's max_resident_bytes traps T001 up front. Off by default.
+  void set_admission(bool enabled) { vm_admission_ = enabled; }
+
   /// Installs a tracer for subsequent run_* calls: each run installs it
   /// as the process-global obs sink for its duration and records one
   /// "run" span per execution plus per-primitive / per-opcode spans.
@@ -147,6 +159,8 @@ class Session {
   std::shared_ptr<const xform::Compiled> compiled_;
   exec::PrimOptions prim_options_;
   bool vm_profile_ = false;
+  bool vm_arena_ = false;
+  bool vm_admission_ = false;
   obs::Tracer* tracer_ = nullptr;
   RunCost cost_;
   rt::ExecBudget budget_;
@@ -178,6 +192,9 @@ class ModuleRunner {
 
   void set_budget(const rt::ExecBudget& budget) { budget_ = budget; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Same plan-backed arena / admission knobs as Session (run_vm path).
+  void set_arena(bool enabled) { vm_arena_ = enabled; }
+  void set_admission(bool enabled) { vm_admission_ = enabled; }
 
   [[nodiscard]] const vm::Module& module() const { return *module_; }
   [[nodiscard]] const RunCost& last_cost() const { return cost_; }
@@ -188,6 +205,8 @@ class ModuleRunner {
 
   std::shared_ptr<const vm::Module> module_;
   exec::PrimOptions prim_options_;
+  bool vm_arena_ = false;
+  bool vm_admission_ = false;
   obs::Tracer* tracer_ = nullptr;
   RunCost cost_;
   rt::ExecBudget budget_;

@@ -17,6 +17,7 @@ thread_local GovernorState* t_state = nullptr;
 
 std::atomic<bool> g_active{false};
 std::atomic<std::uint64_t> g_resident{0};
+std::atomic<std::uint64_t> g_peak{0};
 std::atomic<int> g_tripped{0};
 
 }  // namespace detail
@@ -88,6 +89,13 @@ void charge_bytes_slow(std::uint64_t bytes) {
          bytes);
     return;  // deferred inside a parallel region: the allocation proceeds
   }
+  // Advance the resident high watermark (exact on governed threads; the
+  // inline fast path skips it, so ungoverned allocation is not observed).
+  const std::uint64_t cur = g_resident.load(std::memory_order_relaxed);
+  std::uint64_t prev = g_peak.load(std::memory_order_relaxed);
+  while (cur > prev && !g_peak.compare_exchange_weak(
+                           prev, cur, std::memory_order_relaxed)) {
+  }
   const GovernorState* st = t_state;
   if (st == nullptr) return;
   if (st->max_bytes != 0 &&
@@ -138,6 +146,19 @@ void poll_slow(const char* site, std::int64_t pc) {
 
 std::uint64_t resident_bytes() noexcept {
   return detail::g_resident.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_resident_bytes() noexcept {
+  return detail::g_peak.load(std::memory_order_relaxed);
+}
+
+void reset_peak_resident_bytes() noexcept {
+  detail::g_peak.store(resident_bytes(), std::memory_order_relaxed);
+}
+
+std::uint64_t max_resident_limit() noexcept {
+  const detail::GovernorState* st = detail::t_state;
+  return st != nullptr ? st->max_bytes : 0;
 }
 
 std::uint64_t steps() noexcept {

@@ -90,6 +90,7 @@ extern thread_local GovernorState* t_state;
 /// pending, faults armed, or a trip deferred from a parallel region.
 extern std::atomic<bool> g_active;
 extern std::atomic<std::uint64_t> g_resident;
+extern std::atomic<std::uint64_t> g_peak;  // resident-byte high watermark
 extern std::atomic<int> g_tripped;  // deferred Trap code; 0 = none
 
 void charge_bytes_slow(std::uint64_t bytes);
@@ -149,6 +150,18 @@ inline void poll(const char* site, std::int64_t pc = -1) {
 
 /// Live vl vector bytes currently charged (process-wide, always counted).
 [[nodiscard]] std::uint64_t resident_bytes() noexcept;
+
+/// High watermark of resident_bytes() observed at charge points since the
+/// last reset. Only advanced on the governed slow path, so it is exact
+/// under a budget scope and merely advisory on ungoverned threads — which
+/// is what the memory-plan benches need (bench_vm_memplan runs governed).
+[[nodiscard]] std::uint64_t peak_resident_bytes() noexcept;
+void reset_peak_resident_bytes() noexcept;
+
+/// The calling thread's resident-byte limit (its innermost budget's
+/// max_resident_bytes; 0 = unlimited/ungoverned). Plan-based admission
+/// control compares a module's static peak bound against this.
+[[nodiscard]] std::uint64_t max_resident_limit() noexcept;
 
 /// Element-work steps charged since this thread's innermost budget scope
 /// was installed (0 on an ungoverned thread).

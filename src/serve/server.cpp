@@ -225,6 +225,10 @@ obs::MetricsRegistry Server::metrics() const {
               .count()));
   snapshot.set_gauge("serve.requests_inflight",
                      inflight_.load(std::memory_order_relaxed));
+  snapshot.set_gauge("vl.arena.slots",
+                     arena_slots_.load(std::memory_order_relaxed));
+  snapshot.set_gauge("vl.arena.bytes_planned",
+                     arena_bytes_planned_.load(std::memory_order_relaxed));
   return snapshot;
 }
 
@@ -546,6 +550,8 @@ Json Server::do_eval(const Json& req) {
     if (entry->compiled != nullptr) {
       Session session(entry->compiled);
       session.set_budget(budget);
+      session.set_arena(options_.arena);
+      session.set_admission(options_.admission);
       result = has_fun ? session.run_vm(fun, args) : session.run_entry_vm();
       run_metrics = session.last_cost().metrics;
       if (!session.last_degradations().empty()) {
@@ -560,6 +566,8 @@ Json Server::do_eval(const Json& req) {
       // run is VM-only, driven by the module's serialized signatures.
       ModuleRunner runner(entry->module);
       runner.set_budget(budget);
+      runner.set_arena(options_.arena);
+      runner.set_admission(options_.admission);
       result = has_fun ? runner.run(fun, args) : runner.run_entry();
       run_metrics = runner.last_cost().metrics;
       engine = "vm-module";
@@ -568,6 +576,16 @@ Json Server::do_eval(const Json& req) {
     count("serve.eval.count");
     if (cache_hit) count("serve.eval.warm");
     count("serve.eval.wall_ns", elapsed_ns(start));
+    // Accumulate the allocator counters across evals (OpenMetrics
+    // counters) and remember the plan gauges of this eval.
+    count("vl.buffer_allocs", run_metrics.get("vl.buffer_allocs"));
+    count("vl.arena.recycled", run_metrics.get("vl.arena.recycled"));
+    count("vl.arena.heap_fallbacks",
+          run_metrics.get("vl.arena.heap_fallbacks"));
+    arena_slots_.store(run_metrics.get("vl.arena.slots"),
+                       std::memory_order_relaxed);
+    arena_bytes_planned_.store(run_metrics.get("vl.arena.bytes_planned"),
+                               std::memory_order_relaxed);
 
     Json::Object reply;
     if (req.has("id")) reply["id"] = req.get("id");

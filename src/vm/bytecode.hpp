@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,10 @@
 #include "kernels/fused.hpp"
 #include "kernels/vvalue.hpp"
 #include "lang/ast.hpp"
+
+namespace proteus::analysis {
+struct MemoryPlan;
+}  // namespace proteus::analysis
 
 namespace proteus::vm {
 
@@ -122,6 +127,12 @@ struct Module {
   std::vector<Signature> signatures;   ///< parallel to `functions`; may be
                                        ///< empty for hand-built modules
   std::int32_t entry = -1;
+
+  /// Memory plan computed by analysis::plan_module (one FunctionPlan per
+  /// function) — attached by the pipeline's plan-memory stage and by the
+  /// PVCM loader; null for hand-built or unplanned modules. Shared and
+  /// immutable: VMs read it concurrently.
+  std::shared_ptr<const analysis::MemoryPlan> plan;
 
   [[nodiscard]] const Function* find(const std::string& name) const {
     auto it = fn_index.find(name);

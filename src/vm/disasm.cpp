@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "analysis/lifetime.hpp"
+
 namespace proteus::vm {
 
 const char* op_name(Op op) {
@@ -183,6 +185,16 @@ std::string to_text(const Module& module, const Function& fn) {
   std::ostringstream os;
   os << "fun " << fn.name << " (params " << fn.n_params << ", regs "
      << fn.n_regs << ", code " << fn.code.size() << "):\n";
+  if (module.plan != nullptr) {
+    // The memory plan is per-function and parallel to `functions`.
+    for (std::size_t i = 0; i < module.functions.size(); ++i) {
+      if (&module.functions[i] == &fn &&
+          i < module.plan->functions.size()) {
+        os << analysis::plan_to_text(module.plan->functions[i]);
+        break;
+      }
+    }
+  }
   for (std::size_t i = 0; i < fn.code.size(); ++i) {
     instr_text(os, module, fn, i);
   }

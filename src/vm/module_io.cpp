@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/lifetime.hpp"
 #include "kernels/fused.hpp"
 #include "seq/seq.hpp"
 #include "vm/verify.hpp"
@@ -530,6 +531,94 @@ bool read_function(Reader& r, Function& f) {
   return r.ok();
 }
 
+void write_bound(Writer& w, const analysis::SymBound& b) {
+  w.u8(b.unbounded ? 1 : 0);
+  w.u64(b.c0);
+  w.u64(b.c1);
+}
+
+analysis::SymBound read_bound(Reader& r) {
+  analysis::SymBound b;
+  const std::uint8_t unbounded = r.u8();
+  if (unbounded > 1) {
+    r.fail();
+    return b;
+  }
+  b.unbounded = unbounded != 0;
+  b.c0 = r.u64();
+  b.c1 = r.u64();
+  if (b.unbounded && (b.c0 != 0 || b.c1 != 0)) {
+    // Canonical encoding only: top is always {0,0,true}. This keeps the
+    // B217 recompute-and-compare byte-exact.
+    r.fail();
+  }
+  return b;
+}
+
+void write_plan(Writer& w, const Module& m) {
+  const analysis::MemoryPlan* plan = m.plan.get();
+  const bool present =
+      plan != nullptr && plan->functions.size() == m.functions.size();
+  w.u8(present ? 1 : 0);
+  if (!present) return;
+  for (const analysis::FunctionPlan& fp : plan->functions) {
+    write_bound(w, fp.peak_bytes);
+    w.u32(fp.static_allocs);
+    w.u32(static_cast<std::uint32_t>(fp.death_off.size()));
+    for (std::uint32_t x : fp.death_off) w.u32(x);
+    w.u32(static_cast<std::uint32_t>(fp.death_regs.size()));
+    for (std::uint16_t x : fp.death_regs) w.u16(x);
+    w.u32(static_cast<std::uint32_t>(fp.reg_slot.size()));
+    for (std::int32_t x : fp.reg_slot) w.i32(x);
+    w.u32(static_cast<std::uint32_t>(fp.slots.size()));
+    for (const analysis::SlotPlan& s : fp.slots) {
+      w.u8(static_cast<std::uint8_t>(s.kind));
+      write_bound(w, s.elems);
+    }
+  }
+}
+
+/// Decodes the v2 plan section into `plan`; false (reader failed) on
+/// malformed bytes. `n_functions` anchors the per-function record count.
+bool read_plan(Reader& r, std::size_t n_functions,
+               analysis::MemoryPlan& plan) {
+  plan.functions.resize(n_functions);
+  for (std::size_t i = 0; i < n_functions && r.ok(); ++i) {
+    analysis::FunctionPlan& fp = plan.functions[i];
+    fp.peak_bytes = read_bound(r);
+    fp.static_allocs = r.u32();
+    const std::uint32_t n_off = r.count32(4);
+    fp.death_off.reserve(r.ok() ? n_off : 0);
+    for (std::uint32_t j = 0; j < n_off && r.ok(); ++j) {
+      fp.death_off.push_back(r.u32());
+    }
+    const std::uint32_t n_regs = r.count32(2);
+    fp.death_regs.reserve(r.ok() ? n_regs : 0);
+    for (std::uint32_t j = 0; j < n_regs && r.ok(); ++j) {
+      fp.death_regs.push_back(r.u16());
+    }
+    const std::uint32_t n_slots_map = r.count32(4);
+    fp.reg_slot.reserve(r.ok() ? n_slots_map : 0);
+    for (std::uint32_t j = 0; j < n_slots_map && r.ok(); ++j) {
+      fp.reg_slot.push_back(r.i32());
+    }
+    const std::uint32_t n_slots = r.count32(17);  // bound + kind
+    fp.slots.reserve(r.ok() ? n_slots : 0);
+    for (std::uint32_t j = 0; j < n_slots && r.ok(); ++j) {
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(analysis::SlotKind::kUnknown)) {
+        r.fail();
+        break;
+      }
+      analysis::SlotPlan sp;
+      sp.kind = static_cast<analysis::SlotKind>(kind);
+      sp.elems = read_bound(r);
+      fp.slots.push_back(sp);
+    }
+  }
+  return r.ok();
+}
+
 analysis::Diagnostic structural(std::string code, std::string message) {
   analysis::Diagnostic d;
   d.code = std::move(code);
@@ -609,6 +698,8 @@ std::string module_bytes(const Module& m, std::uint64_t hash) {
   }
 
   w.i32(m.entry);
+
+  write_plan(w, m);
   return w.take();
 }
 
@@ -678,6 +769,16 @@ ModuleLoadResult load_module(std::string_view bytes, bool verify) {
     }
 
     module->entry = r.i32();
+
+    const std::uint8_t has_plan = r.u8();
+    if (r.ok() && has_plan > 1) r.fail();
+    if (r.ok() && has_plan == 1) {
+      analysis::MemoryPlan plan;
+      if (read_plan(r, module->functions.size(), plan)) {
+        module->plan =
+            std::make_shared<const analysis::MemoryPlan>(std::move(plan));
+      }
+    }
   } catch (const std::exception& e) {
     // Representation invariants (descriptor sums, ragged tuples, empty
     // tuples) are enforced by the Array/Type constructors; an image that
@@ -707,6 +808,22 @@ ModuleLoadResult load_module(std::string_view bytes, bool verify) {
     analysis::Report vr = verify_module(*module);
     result.report.merge(vr);
     if (!vr.ok()) return result;
+
+    // An embedded memory plan steers the VM's register clearing, so it is
+    // never trusted: recompute it from the (now verified) bytecode and
+    // demand byte-for-byte agreement. plan_module is deterministic, so a
+    // faithful image always passes; any divergence is tampering or a
+    // writer/reader skew (B217). Loads with verify=false skip this and
+    // the VM falls back to its own structural plan check.
+    if (module->plan != nullptr) {
+      analysis::PlanResult recomputed = analysis::plan_module(*module);
+      if (!(recomputed.plan == *module->plan)) {
+        result.report.add(structural(
+            "B217", "embedded memory plan does not match the module's "
+                    "bytecode (stale or tampered plan section)"));
+        return result;
+      }
+    }
   }
 
   result.module = std::move(module);

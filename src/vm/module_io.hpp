@@ -22,7 +22,11 @@
 // (malformed/truncated image) or B216 (bad magic / unsupported version)
 // diagnostics in the returned report, and the decoded module is then
 // re-proved safe to dispatch by the existing bytecode verifier
-// (vm/verify.hpp), exactly as if it had come from the assembler. A
+// (vm/verify.hpp), exactly as if it had come from the assembler. An
+// embedded memory plan is likewise untrusted: at a verifying load it is
+// recomputed from the decoded bytecode and compared — any divergence is
+// B217 (plan/bytecode mismatch), so a tampered plan can never steer the
+// VM's plan-backed register clearing. A
 // loaded module therefore enjoys the same soundness guarantee as a
 // freshly compiled one, or it is rejected with a structured report —
 // never a crash (see tests/vm/module_io_test.cpp's truncation sweep).
@@ -43,7 +47,9 @@ namespace proteus::vm {
 inline constexpr std::uint32_t kModuleMagic = 0x4D435650u;
 
 /// Bump on any layout change; the loader rejects other versions (B216).
-inline constexpr std::uint32_t kModuleVersion = 1;
+/// v2 added the memory-plan section (analysis/lifetime.hpp) after the
+/// entry index, guarded by the B217 plan/bytecode consistency check.
+inline constexpr std::uint32_t kModuleVersion = 2;
 
 /// FNV-1a 64-bit over `source` and an options tag: the cache key of the
 /// module caches. Stable across processes and platforms, so on-disk cache

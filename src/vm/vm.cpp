@@ -1,10 +1,13 @@
 #include "vm/vm.hpp"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
+#include "analysis/lifetime.hpp"
 #include "obs/tracer.hpp"
 #include "rt/governor.hpp"
+#include "vl/arena.hpp"
 #include "vl/backend.hpp"
 #include "vl/check.hpp"
 #include "vm/verify.hpp"
@@ -17,6 +20,11 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 const std::vector<std::uint8_t> kAllFrames;  // empty lifted set
+
+/// Arena cap when the plan's bound is unbounded (flattened recursion):
+/// generous enough that quicksort-scale workloads recycle freely, small
+/// enough that a pathological run cannot bank unbounded memory.
+constexpr std::uint64_t kDefaultArenaCap = std::uint64_t{256} << 20;
 
 [[noreturn]] void unknown_function(const std::string& name) {
   // Same diagnostic as the tree executor so the engines stay
@@ -33,18 +41,78 @@ VM::VM(std::shared_ptr<const Module> module, VMOptions options)
   if (options_.verify) verify_module_or_throw(*module_);
 }
 
+const analysis::FunctionPlan* VM::plan_of(std::uint32_t index) const {
+  if (!options_.arena || module_->plan == nullptr) return nullptr;
+  if (index >= module_->plan->functions.size()) return nullptr;
+  const analysis::FunctionPlan& fp = module_->plan->functions[index];
+  // A plan out of step with the code (hand-edited module, loader with
+  // verification off) is ignored rather than trusted.
+  if (fp.death_off.size() !=
+      module_->functions[index].code.size() + 1) {
+    return nullptr;
+  }
+  return &fp;
+}
+
+void VM::admit_root(const analysis::FunctionPlan* fp,
+                    const std::vector<VValue>& args, const std::string& name,
+                    std::uint64_t* arena_cap) {
+  *arena_cap = 0;
+  if (fp == nullptr && !options_.admission) return;
+  // Admission consults the plan even when arena execution is off.
+  const analysis::MemoryPlan* plan = module_->plan.get();
+  const analysis::FunctionPlan* bound_fp = fp;
+  if (bound_fp == nullptr && plan != nullptr) {
+    auto it = module_->fn_index.find(name);
+    if (it != module_->fn_index.end() &&
+        it->second < plan->functions.size()) {
+      bound_fp = &plan->functions[it->second];
+    }
+  }
+  if (bound_fp == nullptr) return;
+  const std::uint64_t n = analysis::input_scale(args);
+  const analysis::SymBound& bound = bound_fp->peak_bytes;
+  if (options_.admission && !bound.is_top()) {
+    const std::uint64_t limit = rt::max_resident_limit();
+    if (limit != 0 && bound.eval(n) > limit) {
+      rt::raise(rt::Trap::kMemory,
+                "admission: static peak bound " +
+                    std::to_string(bound.eval(n)) + " bytes for '" + name +
+                    "' exceeds the resident-byte budget (" +
+                    std::to_string(limit) + ")",
+                "vm.admit");
+    }
+  }
+  if (fp != nullptr) {
+    // The arena banks at most half the published bound, so live buffers
+    // plus pooled ones stay within it (docs/VM.md).
+    *arena_cap = bound.is_top() ? kDefaultArenaCap : bound.eval(n) / 2;
+    vl::stats().arena_slots = fp->slots.size();
+    vl::stats().arena_bytes_planned = bound.is_top() ? 0 : bound.eval(n);
+  }
+}
+
 VValue VM::call_function(const std::string& name, std::vector<VValue> args) {
   auto it = module_->fn_index.find(name);
   if (it == module_->fn_index.end()) unknown_function(name);
+  std::uint64_t arena_cap = 0;
+  admit_root(plan_of(it->second), args, name, &arena_cap);
+  std::optional<vl::arena::Scope> scope;
+  if (arena_cap != 0) scope.emplace(arena_cap);
   return invoke(it->second, std::move(args), name);
 }
 
 VValue VM::eval_entry() {
   PROTEUS_REQUIRE(EvalError, module_->entry >= 0,
                   "vm: module has no compiled entry expression");
-  const Function& fn =
-      module_->functions[static_cast<std::size_t>(module_->entry)];
-  return run(fn, std::vector<VValue>(fn.n_regs));
+  const auto entry = static_cast<std::uint32_t>(module_->entry);
+  const Function& fn = module_->functions[entry];
+  const analysis::FunctionPlan* fp = plan_of(entry);
+  std::uint64_t arena_cap = 0;
+  admit_root(fp, {}, fn.name, &arena_cap);
+  std::optional<vl::arena::Scope> scope;
+  if (arena_cap != 0) scope.emplace(arena_cap);
+  return run(fn, std::vector<VValue>(fn.n_regs), fp);
 }
 
 VValue VM::invoke(std::uint32_t index, std::vector<VValue> args,
@@ -59,14 +127,26 @@ VValue VM::invoke(std::uint32_t index, std::vector<VValue> args,
   }
   stats_.calls += 1;
   args.resize(fn.n_regs);
-  VValue result = run(fn, std::move(args));
+  VValue result = run(fn, std::move(args), plan_of(index));
   --call_depth_;
   return result;
 }
 
-VValue VM::run(const Function& fn, std::vector<VValue> regs) {
+VValue VM::run(const Function& fn, std::vector<VValue> regs,
+               const analysis::FunctionPlan* fp) {
   const Instr* code = fn.code.data();
   const bool profile = options_.profile;
+  // Plan-backed last-use clearing: after pc's operands are consumed, the
+  // registers the plan proves dead reset to the default VValue. Dropping
+  // the last reference destroys the backing buffers, which the active
+  // arena scope then recycles (vl/arena.hpp).
+  const auto clear_dead = [&](std::size_t at) {
+    if (fp == nullptr) return;
+    for (std::uint32_t i = fp->death_off[at]; i < fp->death_off[at + 1];
+         ++i) {
+      regs[fp->death_regs[i]] = VValue();
+    }
+  };
   std::size_t pc = 0;
   for (;;) {
     // One cooperative governor check per instruction: cancellation,
@@ -74,6 +154,7 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
     // here with the current pc. Inactive cost is one relaxed load.
     rt::poll("vm", static_cast<std::int64_t>(pc));
     const Instr& in = code[pc];
+    const std::size_t at = pc;
     ++pc;
     stats_.instructions += 1;
     OpProfile& prof = stats_.per_op[static_cast<std::size_t>(in.op)];
@@ -96,13 +177,17 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
         continue;
       case Op::kMove:
         regs[in.dst] = regs[a[0]];
+        clear_dead(at);
         continue;
       case Op::kJump:
         pc = static_cast<std::size_t>(in.aux);
         continue;
-      case Op::kJumpIfFalse:
-        if (!regs[a[0]].as_bool()) pc = static_cast<std::size_t>(in.aux);
+      case Op::kJumpIfFalse: {
+        const bool cond = regs[a[0]].as_bool();
+        clear_dead(at);
+        if (!cond) pc = static_cast<std::size_t>(in.aux);
         continue;
+      }
       case Op::kRet:
         return std::move(regs[a[0]]);
       case Op::kCall: {
@@ -110,8 +195,10 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
           unknown_function(module_->names[static_cast<std::size_t>(in.aux2)]);
         }
         const auto callee = static_cast<std::uint32_t>(in.aux);
+        std::vector<VValue> vals = gather(0);
+        clear_dead(at);  // free caller copies for the callee's lifetime
         regs[in.dst] =
-            invoke(callee, gather(0), module_->functions[callee].name);
+            invoke(callee, std::move(vals), module_->functions[callee].name);
         continue;
       }
       case Op::kCallIndirect: {
@@ -121,7 +208,9 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
                           : lang::extension_name(f.fun_name(), 1);
         auto it = module_->fn_index.find(target);
         if (it == module_->fn_index.end()) unknown_function(target);
-        regs[in.dst] = invoke(it->second, gather(1), target);
+        std::vector<VValue> vals = gather(1);
+        clear_dead(at);
+        regs[in.dst] = invoke(it->second, std::move(vals), target);
         continue;
       }
       default:
@@ -181,6 +270,7 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
         stats_.prim_applications += 1;
         stats_.per_prim[lang::Prim::kAnyTrue] += 1;
         const bool any = kernels::any_true_frame(regs[a[0]]);
+        clear_dead(at);
         prof.element_work += vl::stats().element_work - work0;
         if (span.active()) {
           span.counter("elements", vl::stats().element_work - work0);
@@ -249,6 +339,7 @@ VValue VM::run(const Function& fn, std::vector<VValue> regs) {
               .count());
     }
     regs[in.dst] = std::move(out);
+    clear_dead(at);
   }
 }
 

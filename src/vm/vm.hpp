@@ -23,6 +23,10 @@
 #include "kernels/prims.hpp"
 #include "vm/bytecode.hpp"
 
+namespace proteus::analysis {
+struct FunctionPlan;
+}  // namespace proteus::analysis
+
 namespace proteus::vm {
 
 /// Knobs of a VM run.
@@ -33,6 +37,17 @@ struct VMOptions {
   /// analysis::AnalysisError when the module is rejected. Callers holding
   /// a module the pipeline already verified may pass false.
   bool verify = true;
+  /// Execute on the memory plan (requires Module::plan): dead registers
+  /// clear at their statically known last use and a per-evaluation arena
+  /// (vl/arena.hpp) recycles the freed buffers, pre-sized from the plan's
+  /// peak bound. Off by default — plan-backed and heap execution are
+  /// bit-identical, but pooled buffers shift `charge_bytes` timing.
+  bool arena = false;
+  /// Plan-based admission control: reject a call up front (T001) when the
+  /// plan's static peak bound at the arguments' input scale already
+  /// exceeds the thread's resident-byte budget. Off by default (bounds
+  /// are conservative; unbounded plans always admit).
+  bool admission = false;
 };
 
 /// Accumulated cost of one opcode across a run.
@@ -78,10 +93,21 @@ class VM {
   [[nodiscard]] const Module& module() const { return *module_; }
 
  private:
-  kernels::VValue run(const Function& fn, std::vector<kernels::VValue> regs);
+  kernels::VValue run(const Function& fn, std::vector<kernels::VValue> regs,
+                      const analysis::FunctionPlan* fp);
   kernels::VValue invoke(std::uint32_t index,
                          std::vector<kernels::VValue> args,
                          const std::string& name);
+  /// The plan of function `index` when plan-backed execution is on and the
+  /// module carries a matching plan; null otherwise.
+  [[nodiscard]] const analysis::FunctionPlan* plan_of(
+      std::uint32_t index) const;
+  /// Root-call setup shared by the public entry points: plan-based
+  /// admission (T001 before any work) and the result of the peak bound
+  /// evaluated at the arguments' input scale (for the arena cap).
+  void admit_root(const analysis::FunctionPlan* fp,
+                  const std::vector<kernels::VValue>& args,
+                  const std::string& name, std::uint64_t* arena_cap);
 
   std::shared_ptr<const Module> module_;
   VMOptions options_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/lifetime.hpp"
 #include "analysis/shape.hpp"
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
@@ -215,6 +216,25 @@ Compiled compile(std::string_view program_source,
     if (rejected) {
       throw analysis::AnalysisError(std::move(vcode));
     }
+  }
+
+  if (options.plan_memory) {
+    obs::Span span("compile", "plan-memory");
+    // Attach a memory plan to both modules (they may be the same object).
+    // The const_pointer_cast is safe: the pipeline is the sole owner of
+    // the freshly assembled modules at this point.
+    const auto attach = [](std::shared_ptr<const vm::Module>& m)
+        -> analysis::Report {
+      analysis::PlanResult pr = analysis::plan_module(*m);
+      std::const_pointer_cast<vm::Module>(m)->plan =
+          std::make_shared<const analysis::MemoryPlan>(std::move(pr.plan));
+      return std::move(pr.report);
+    };
+    out.memory_report = attach(out.module);
+    if (out.module_o0 != out.module) {
+      (void)attach(out.module_o0);  // -O1's findings are the reported set
+    }
+    span.counter("diagnostics", out.memory_report.size());
   }
 
   if (options.collect_trace && trace != nullptr) {

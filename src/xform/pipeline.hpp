@@ -43,6 +43,12 @@ struct PipelineOptions {
   /// assembled (and optimized) module (proteusc --no-verify-vcode turns
   /// this off).
   bool verify_vcode = true;
+  /// Run the buffer-lifetime / memory-plan analyzer (analysis/lifetime.hpp)
+  /// over the final module(s) and attach the resulting MemoryPlan to them
+  /// (vm::Module::plan) — the artifact behind plan-backed arena execution,
+  /// admission control, and `proteusc --analyze=memory`. M3xx findings
+  /// land in Compiled::memory_report (warnings only; never fatal).
+  bool plan_memory = true;
   /// Collect a KIDS-style derivation trace (one line per rule firing)
   /// into Compiled::derivation. Implemented over the obs span/event
   /// model: each firing is a "rule" instant event; with no tracer
@@ -87,6 +93,12 @@ struct Compiled {
   /// verifier (populated when the respective options are on; an error-free
   /// report may still carry warnings).
   analysis::Report analysis;
+
+  /// M3xx wasteful-pattern findings of the memory-plan analyzer (when
+  /// options.plan_memory is on). Kept separate from `analysis`: these are
+  /// advisory memory-efficiency observations about the *generated* VCODE,
+  /// not source-program diagnostics, and they never affect exit codes.
+  analysis::Report memory_report;
 
   /// Rule-by-rule derivation log (only when options.collect_trace).
   std::vector<std::string> derivation;

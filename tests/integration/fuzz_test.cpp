@@ -215,8 +215,19 @@ void expect_engines_agree(Session& s, const std::string& fn,
   Outcome ref = run(s, fn, args, Engine::kRef);
   Outcome vec = run(s, fn, args, Engine::kVec);
   Outcome bc = run(s, fn, args, Engine::kVm);
+  // The plan-backed arena VM must agree bit-for-bit with the heap VM,
+  // including on which programs throw.
+  s.set_arena(true);
+  Outcome arena = run(s, fn, args, Engine::kVm);
+  s.set_arena(false);
   EXPECT_EQ(ref.threw, vec.threw) << "input " << input;
   EXPECT_EQ(ref.threw, bc.threw) << "input " << input << " (vm)";
+  EXPECT_EQ(bc.threw, arena.threw) << "input " << input << " (vm arena)";
+  if (!bc.threw && !arena.threw) {
+    EXPECT_EQ(bc.value, arena.value)
+        << "input " << input << ": vm heap " << interp::to_text(bc.value)
+        << " vs vm arena " << interp::to_text(arena.value);
+  }
   if (!ref.threw && !vec.threw) {
     EXPECT_EQ(ref.value, vec.value)
         << "input " << input << ": ref " << interp::to_text(ref.value)

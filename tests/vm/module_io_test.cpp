@@ -143,6 +143,43 @@ TEST(ModuleIO, EveryCorruptedByteIsHandled) {
   }
 }
 
+TEST(ModuleIO, EveryCorruptedPlanByteIsRejected) {
+  // The memory-plan section is stronger than the rest of the image:
+  // a plan either decodes byte-exactly to what the analyzer recomputes
+  // from the decoded bytecode, or the load is rejected. So *every*
+  // corrupted plan byte must yield B215 (malformed), B216 (header), or
+  // B217 (plan/bytecode mismatch) — a flipped plan can never steer the
+  // VM's register clearing.
+  auto module = compile_program(kProgram);
+  ASSERT_NE(module->plan, nullptr);
+  const std::string bytes = module_bytes(*module);
+
+  // The plan section is the image's tail: everything after the common
+  // prefix shared with the same module serialized plan-less (the prefix
+  // ends at the u8 has_plan flag).
+  Module stripped = *module;
+  stripped.plan = nullptr;
+  const std::string without = module_bytes(stripped);
+  ASSERT_LT(without.size(), bytes.size());
+  const std::size_t plan_start = without.size() - 1;  // the has_plan byte
+  ASSERT_EQ(bytes.compare(0, plan_start, without, 0, plan_start), 0);
+
+  for (std::size_t i = plan_start; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    ModuleLoadResult r = load_module(mutated);
+    EXPECT_FALSE(r.ok()) << "flipped plan byte " << i << " decoded";
+    EXPECT_TRUE(r.report.has("B215") || r.report.has("B216") ||
+                r.report.has("B217"))
+        << "flipped plan byte " << i << ": " << r.report.to_text();
+  }
+
+  // And the plan-less image still loads (plans are optional in v2).
+  ModuleLoadResult r = load_module(without);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_EQ(r.module->plan, nullptr);
+}
+
 TEST(ModuleIO, FileRoundtripAndMissingFile) {
   auto module = compile_program(kProgram);
   const std::uint64_t hash = source_hash(kProgram);

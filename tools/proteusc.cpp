@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "analysis/lifetime.hpp"
 #include "core/proteus.hpp"
 #include "core/report.hpp"
 #include "lang/printer.hpp"
@@ -85,12 +86,21 @@ namespace {
       "  --dump STAGE        checked | canon | flat | vec | vcode | trace\n"
       "  --analyze[=json]    run the static shape/depth analyzer and the\n"
       "                      VCODE verifier, print diagnostics (schema in\n"
-      "                      docs/ANALYSIS.md), exit 0 (clean) / 3 (rejected)\n"
+      "                      docs/ANALYSIS.md), exit 0 (clean) / 3 (rejected);\n"
+      "                      json output includes the \"memory\" section\n"
+      "  --analyze=memory    print the per-function memory plan (peak bound,\n"
+      "                      arena slots, static allocs) and the M3xx\n"
+      "                      advisories of the buffer-lifetime analyzer\n"
       "\n"
       "compilation:\n"
       "  -O0 / -O1           disable / enable (default) the VCODE optimizer\n"
       "  --no-verify-vcode   skip bytecode verification of the module\n"
       "  --naive             disable the Section 4.5 optimizations (ablation)\n"
+      "  --arena             plan-backed arena execution on the vm engine:\n"
+      "                      buffers recycle through a per-run arena sized\n"
+      "                      from the memory plan (docs/VM.md)\n"
+      "  --admission         trap T001 up front when the plan's static\n"
+      "                      peak-resident bound exceeds --budget-mem\n"
       "\n"
       "module images (docs/SERVING.md):\n"
       "  --emit-module FILE  write the compiled VCODE module image to FILE\n"
@@ -173,6 +183,9 @@ int main(int argc, char** argv) {
   std::string dump;
   bool analyze = false;
   bool analyze_json = false;
+  bool analyze_memory = false;
+  bool arena = false;
+  bool admission = false;
   bool verify_vcode = true;
   bool optimize_vcode = true;
   bool stats = false;
@@ -224,6 +237,13 @@ int main(int argc, char** argv) {
     } else if (a == "--analyze=json") {
       analyze = true;
       analyze_json = true;
+    } else if (a == "--analyze=memory") {
+      analyze = true;
+      analyze_memory = true;
+    } else if (a == "--arena") {
+      arena = true;
+    } else if (a == "--admission") {
+      admission = true;
     } else if (a == "--no-verify-vcode") {
       verify_vcode = false;
     } else if (a == "-O0") {
@@ -350,6 +370,8 @@ int main(int argc, char** argv) {
         [&](std::shared_ptr<const proteus::vm::Module> module) -> int {
       proteus::ModuleRunner runner(std::move(module));
       runner.set_budget(budget);
+      runner.set_arena(arena);
+      runner.set_admission(admission);
       if (tracing) runner.set_tracer(&tracer);
       proteus::interp::Value result;
       const auto run_start = std::chrono::steady_clock::now();
@@ -406,15 +428,57 @@ int main(int argc, char** argv) {
     if (analyze) {
       // Compile through every stage and report the analyzer's + bytecode
       // verifier's findings instead of running; exit 3 on rejection.
+      // The memory report (M3xx) is advisory and never affects the exit
+      // code — only analyzer/verifier *errors* reject a program.
       proteus::analysis::Report report;
+      proteus::analysis::Report memory;
+      std::shared_ptr<const proteus::vm::Module> module;
       try {
-        report = proteus::xform::compile(source, entry, options).analysis;
+        proteus::xform::Compiled compiled =
+            proteus::xform::compile(source, entry, options);
+        report = std::move(compiled.analysis);
+        memory = std::move(compiled.memory_report);
+        module = compiled.module;
       } catch (const proteus::analysis::AnalysisError& e) {
         report = e.report();
       }
       if (analyze_json) {
-        report.write_json(std::cout);
+        // The "memory" section: the advisory report plus one plan summary
+        // per planned function (docs/ANALYSIS.md).
+        std::ostringstream mem;
+        mem << "\"memory\":{\"report\":";
+        memory.write_json(mem);
+        mem << ",\"functions\":[";
+        if (module != nullptr && module->plan != nullptr) {
+          bool first = true;
+          for (std::size_t i = 0; i < module->plan->functions.size(); ++i) {
+            const proteus::analysis::FunctionPlan& fp =
+                module->plan->functions[i];
+            if (!first) mem << ',';
+            first = false;
+            mem << "{\"name\":\""
+                << proteus::obs::json_escape(module->functions[i].name)
+                << "\",\"peak_bytes\":\"" << fp.peak_bytes.to_text()
+                << "\",\"static_allocs\":" << fp.static_allocs
+                << ",\"slots\":" << fp.slots.size() << '}';
+          }
+        }
+        mem << "]}";
+        report.write_json(std::cout, mem.str());
         std::cout << '\n';
+      } else if (analyze_memory) {
+        // Human-readable plan dump: one block per function, advisories
+        // after (they name functions and pcs themselves).
+        if (module != nullptr && module->plan != nullptr) {
+          for (std::size_t i = 0; i < module->plan->functions.size(); ++i) {
+            std::cout << "fun " << module->functions[i].name << ":\n"
+                      << proteus::analysis::plan_to_text(
+                             module->plan->functions[i]);
+          }
+        }
+        std::cerr << memory.to_text();
+        std::cerr << "memory plan: " << memory.warning_count()
+                  << " advisories\n";
       } else {
         std::cerr << report.to_text();
         std::cerr << "analysis: " << (report.ok() ? "ok" : "reject") << " ("
@@ -429,6 +493,8 @@ int main(int argc, char** argv) {
     if (tracing) session.set_tracer(&tracer);
     session.set_budget(budget);
     session.set_fallback(fallback);
+    session.set_arena(arena);
+    session.set_admission(admission);
     for (const std::string& note : session.compiled().compile_fallbacks) {
       std::cerr << "proteusc: [degraded] " << note << '\n';
     }

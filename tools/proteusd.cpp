@@ -54,6 +54,14 @@ void usage(std::ostream& os) {
         "  --no-verify            skip bytecode verification of assembled\n"
         "                         and disk-loaded modules\n"
         "\n"
+        "memory plan (docs/ANALYSIS.md, docs/VM.md):\n"
+        "  --arena                plan-backed arena execution: evals recycle\n"
+        "                         buffers through a per-evaluation arena\n"
+        "                         sized from the module's memory plan\n"
+        "  --admission            reject evals whose static peak-resident\n"
+        "                         bound exceeds the request's byte budget\n"
+        "                         (trap T001 before any work runs)\n"
+        "\n"
         "telemetry (docs/OBSERVABILITY.md):\n"
         "  --log-level LVL        request/trap log threshold: debug, info,\n"
         "                         warn, error, off (default info; logs go\n"
@@ -174,6 +182,10 @@ int main(int argc, char** argv) {
       options.optimize = false;
     } else if (arg == "--no-verify") {
       options.verify = false;
+    } else if (arg == "--arena") {
+      options.arena = true;
+    } else if (arg == "--admission") {
+      options.admission = true;
     } else if (arg == "--log-level") {
       bool ok = false;
       log_level = proteus::obs::parse_log_level(need_value(i), &ok);
