@@ -168,6 +168,57 @@ void BM_serve_warm_deep(benchmark::State& state) {
                                   best_without, without_telemetry.metrics());
 }
 
+/// ISSUE 10 acceptance pair: the hardened configuration (bounded
+/// admission, connection deadlines, drain support — every overload &
+/// lifecycle knob set to a non-default value) against the stock
+/// defaults, on the same representative warm quicksort request. The
+/// hardening lives on the transport loop (admission check, poll-sliced
+/// reads, lifecycle atomics); the request path itself only gains a few
+/// relaxed atomic loads, and this pair proves it: CI checks
+/// warm-hard <= warm-hard-base * 1.02 over BENCH_serve.json. Same ABBA
+/// round-robin as BM_serve_warm_deep so both variants see identical
+/// machine conditions.
+void BM_serve_warm_hardened(benchmark::State& state) {
+  const std::string line = quicksort_request(static_cast<int>(state.range(0)));
+  serve::ServerOptions hard_options;
+  hard_options.max_queue = 8;
+  hard_options.max_conns = 32;
+  hard_options.idle_timeout_ms = 1000;
+  hard_options.io_timeout_ms = 250;
+  hard_options.max_line_bytes = 1u << 20;
+  hard_options.drain_ms = 500;
+  hard_options.retry_after_ms = 25;
+  serve::Server hardened(hard_options);
+  serve::Server baseline;
+  benchmark::DoNotOptimize(hardened.handle_line(line));  // prime
+  benchmark::DoNotOptimize(baseline.handle_line(line));  // prime
+
+  std::uint64_t best_hard = UINT64_MAX;
+  std::uint64_t best_base = UINT64_MAX;
+  const auto timed = [&](serve::Server& server) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.handle_line(line));
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  };
+  bool hard_first = true;
+  for (auto _ : state) {
+    if (hard_first) {
+      best_hard = std::min(best_hard, timed(hardened));
+      best_base = std::min(best_base, timed(baseline));
+    } else {
+      best_base = std::min(best_base, timed(baseline));
+      best_hard = std::min(best_hard, timed(hardened));
+    }
+    hard_first = !hard_first;
+  }
+  JsonReporter::instance().record("serve", "warm-hard", state.range(0),
+                                  best_hard, hardened.metrics());
+  JsonReporter::instance().record("serve", "warm-hard-base", state.range(0),
+                                  best_base, baseline.metrics());
+}
+
 /// Concurrent warm throughput: `threads` workers hammer one server with
 /// cache-hitting requests; reported wall_ns is for the WHOLE batch and
 /// n is the number of requests served, so requests/second falls out.
@@ -199,6 +250,10 @@ BENCHMARK(BM_serve_warm_notel)->Arg(1)->Unit(benchmark::kMicrosecond);
 // Explicit MinTime so the CI smoke-run's --benchmark_min_time=0.01
 // can't starve the best-of floors the ratio check depends on.
 BENCHMARK(BM_serve_warm_deep)
+    ->Arg(64)
+    ->MinTime(0.5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_serve_warm_hardened)
     ->Arg(64)
     ->MinTime(0.5)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Serve-layer chaos/overload smoke (docs/SERVING.md "Overload & lifecycle").
+#
+# Starts a deliberately under-provisioned proteusd, hammers it with the
+# retrying loadgen client, and asserts zero wrong answers end to end —
+# then SIGTERMs the daemon and asserts it drains to exit 0. Fault
+# injection composes: run with PROTEUS_FAULT=sock-read:3 (or --inject via
+# PROTEUSD_FLAGS) to add simulated resets/stalls on top of the overload.
+#
+#   scripts/loadgen.sh [build-dir]          # default: build
+#   PROTEUS_FAULT=sock-read:3 scripts/loadgen.sh
+#   PROTEUSD_FLAGS="--workers 2 --max-queue 4" scripts/loadgen.sh
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+PROTEUSD="$BUILD/tools/proteusd"
+LOADGEN="$BUILD/tools/loadgen"
+test -x "$PROTEUSD" || { echo "loadgen.sh: $PROTEUSD not built" >&2; exit 2; }
+test -x "$LOADGEN" || { echo "loadgen.sh: $LOADGEN not built" >&2; exit 2; }
+
+d=$(mktemp -d)
+trap 'rm -rf "$d"; kill "$pid" 2>/dev/null || true' EXIT
+
+# shellcheck disable=SC2086  # PROTEUSD_FLAGS is intentionally word-split
+"$PROTEUSD" --port 0 --workers 1 --max-queue 2 --retry-after-ms 20 \
+  ${PROTEUSD_FLAGS:-} >"$d/announce" &
+pid=$!
+n=0
+while ! grep -q 'listening on' "$d/announce" 2>/dev/null; do
+  n=$((n+1)); test "$n" -lt 100 || { echo "daemon never announced" >&2; exit 1; }
+  sleep 0.1
+done
+port=$(sed -n 's/proteusd listening on //p' "$d/announce")
+
+"$LOADGEN" --port "$port" --threads 8 --requests 20 --max-attempts 20 \
+  | tee "$d/summary"
+grep -q '"wrong":0' "$d/summary"
+grep -q '"failed":0' "$d/summary"
+
+# Graceful drain: TERM must wind the daemon down with exit code 0.
+kill -TERM "$pid"
+rc=0; wait "$pid" || rc=$?
+test "$rc" -eq 0 || { echo "drain exited $rc, want 0" >&2; exit 1; }
+echo "loadgen smoke ok (port $port, drain rc $rc)"

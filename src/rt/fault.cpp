@@ -15,6 +15,9 @@ namespace {
 std::atomic<std::int64_t> g_alloc{0};
 std::atomic<std::int64_t> g_kernel{0};
 std::atomic<std::int64_t> g_opt{0};
+std::atomic<std::int64_t> g_sock_read{0};
+std::atomic<std::int64_t> g_sock_write{0};
+std::atomic<std::int64_t> g_sock_stall{0};
 
 bool countdown(std::atomic<std::int64_t>& c) noexcept {
   if (c.load(std::memory_order_relaxed) <= 0) return false;
@@ -28,7 +31,8 @@ std::uint64_t remaining(const std::atomic<std::int64_t>& c) noexcept {
 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
   throw Error("bad fault plan '" + spec + "': " + why +
-              " (expected alloc:N,kernel:M,opt:K)");
+              " (expected alloc:N,kernel:M,opt:K,sock-read:R,sock-write:W,"
+              "sock-stall:S)");
 }
 
 /// PROTEUS_FAULT in the environment arms a plan for the whole process —
@@ -70,6 +74,12 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       plan.kernel = n;
     } else if (site == "opt") {
       plan.opt = n;
+    } else if (site == "sock-read") {
+      plan.sock_read = n;
+    } else if (site == "sock-write") {
+      plan.sock_write = n;
+    } else if (site == "sock-stall") {
+      plan.sock_stall = n;
     } else {
       bad_spec(spec, "unknown site '" + site + "'");
     }
@@ -84,6 +94,12 @@ void arm_faults(const FaultPlan& plan) noexcept {
   g_kernel.store(static_cast<std::int64_t>(plan.kernel),
                  std::memory_order_relaxed);
   g_opt.store(static_cast<std::int64_t>(plan.opt), std::memory_order_relaxed);
+  g_sock_read.store(static_cast<std::int64_t>(plan.sock_read),
+                    std::memory_order_relaxed);
+  g_sock_write.store(static_cast<std::int64_t>(plan.sock_write),
+                     std::memory_order_relaxed);
+  g_sock_stall.store(static_cast<std::int64_t>(plan.sock_stall),
+                     std::memory_order_relaxed);
   detail::recompute_active();
 }
 
@@ -92,11 +108,16 @@ void disarm_faults() noexcept { arm_faults(FaultPlan{}); }
 bool faults_armed() noexcept {
   return g_alloc.load(std::memory_order_relaxed) > 0 ||
          g_kernel.load(std::memory_order_relaxed) > 0 ||
-         g_opt.load(std::memory_order_relaxed) > 0;
+         g_opt.load(std::memory_order_relaxed) > 0 ||
+         g_sock_read.load(std::memory_order_relaxed) > 0 ||
+         g_sock_write.load(std::memory_order_relaxed) > 0 ||
+         g_sock_stall.load(std::memory_order_relaxed) > 0;
 }
 
 FaultPlan pending_faults() noexcept {
-  return FaultPlan{remaining(g_alloc), remaining(g_kernel), remaining(g_opt)};
+  return FaultPlan{remaining(g_alloc),      remaining(g_kernel),
+                   remaining(g_opt),        remaining(g_sock_read),
+                   remaining(g_sock_write), remaining(g_sock_stall)};
 }
 
 void maybe_fail_opt() {
@@ -111,6 +132,25 @@ namespace detail {
 
 bool fire_alloc() noexcept { return countdown(g_alloc); }
 bool fire_kernel() noexcept { return countdown(g_kernel); }
+
+/// The sock-* sites fire outside the governor's trip machinery (the
+/// serving transport maps them to S-code lifecycle events, not
+/// RuntimeTrap), so they relax g_active themselves once drained.
+bool fire_sock_read() noexcept {
+  if (!countdown(g_sock_read)) return false;
+  recompute_active();
+  return true;
+}
+bool fire_sock_write() noexcept {
+  if (!countdown(g_sock_write)) return false;
+  recompute_active();
+  return true;
+}
+bool fire_sock_stall() noexcept {
+  if (!countdown(g_sock_stall)) return false;
+  recompute_active();
+  return true;
+}
 
 }  // namespace detail
 

@@ -1,20 +1,28 @@
-// fault.hpp — deterministic fault injection for the runtime governor.
+// fault.hpp — deterministic fault injection for the runtime governor and
+// the serving transport.
 //
-// A FaultPlan arms countdowns over three injection sites:
+// A FaultPlan arms countdowns over six injection sites:
 //
-//   alloc:N   fail the Nth vector-byte charge (Vec allocation)    -> T006
-//   kernel:M  fail the Mth vl kernel work charge                  -> T007
-//   opt:K     fail the Kth VCODE optimizer invocation             -> T008
+//   alloc:N      fail the Nth vector-byte charge (Vec allocation)   -> T006
+//   kernel:M     fail the Mth vl kernel work charge                 -> T007
+//   opt:K        fail the Kth VCODE optimizer invocation            -> T008
+//   sock-read:N  the Nth guarded socket read acts as a peer reset   -> S006
+//   sock-write:N the Nth guarded socket write acts as a broken pipe -> S007
+//   sock-stall:N the Nth guarded socket read acts as a stalled peer -> S008
 //
 // Every site is ONE-SHOT: a fired countdown disarms itself, so the
 // degradation ladder's retry (and the rest of a test suite run with
 // PROTEUS_FAULT in the environment) executes clean. Plans come from the
 // PROTEUS_FAULT environment variable (parsed at static initialization,
-// like PROTEUS_BACKEND), the proteusc --inject flag, or arm_faults().
+// like PROTEUS_BACKEND), the proteusc/proteusd --inject flag, or
+// arm_faults().
 //
 // The reference interpreter never touches the vl layer, so it is immune
 // to alloc/kernel injection by construction — which is exactly what makes
-// it the ladder's last rung and the exception-safety sweep's oracle.
+// it the ladder's last rung and the exception-safety sweep's oracle. The
+// sock-* sites are consumed only by proteusd's TCP connection wrappers
+// (docs/SERVING.md "Overload & lifecycle"), so evaluation engines never
+// observe them.
 #pragma once
 
 #include <cstdint>
@@ -27,14 +35,18 @@ struct FaultPlan {
   std::uint64_t alloc = 0;
   std::uint64_t kernel = 0;
   std::uint64_t opt = 0;
+  std::uint64_t sock_read = 0;
+  std::uint64_t sock_write = 0;
+  std::uint64_t sock_stall = 0;
 
   [[nodiscard]] bool armed() const noexcept {
-    return alloc != 0 || kernel != 0 || opt != 0;
+    return alloc != 0 || kernel != 0 || opt != 0 || sock_read != 0 ||
+           sock_write != 0 || sock_stall != 0;
   }
 };
 
-/// Parses "alloc:N,kernel:M,opt:K" (any subset, any order). Throws
-/// proteus::Error on malformed specs.
+/// Parses "alloc:N,kernel:M,opt:K,sock-read:R,sock-write:W,sock-stall:S"
+/// (any subset, any order). Throws proteus::Error on malformed specs.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// Installs the plan's countdowns (replacing any previous plan).
@@ -59,6 +71,11 @@ namespace detail {
 /// the fault fires (and the site has disarmed itself).
 [[nodiscard]] bool fire_alloc() noexcept;
 [[nodiscard]] bool fire_kernel() noexcept;
+/// Countdown checks for the serving transport's socket wrappers
+/// (serve::Server). Same one-shot semantics as the governor sites.
+[[nodiscard]] bool fire_sock_read() noexcept;
+[[nodiscard]] bool fire_sock_write() noexcept;
+[[nodiscard]] bool fire_sock_stall() noexcept;
 }  // namespace detail
 
 }  // namespace proteus::rt

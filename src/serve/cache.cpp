@@ -1,10 +1,29 @@
 #include "serve/cache.hpp"
 
 #include <filesystem>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "vm/module_io.hpp"
 
 namespace proteus::serve {
+
+namespace {
+
+long current_pid() {
+#if defined(_WIN32)
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(::getpid());
+#endif
+}
+
+}  // namespace
 
 ModuleCache::ModuleCache(std::string disk_dir)
     : disk_dir_(std::move(disk_dir)) {
@@ -58,10 +77,25 @@ CacheEntry ModuleCache::insert(std::uint64_t key, CacheEntry entry) {
     surviving = it->second;
   }
   if (won && !disk_dir_.empty() && surviving.module != nullptr) {
+    // Crash-safe publication: write the image to a .tmp sibling and
+    // rename it into place. rename(2) within a directory is atomic, so a
+    // crash mid-write leaves only an orphaned .tmp — a concurrent (or
+    // later) process can never load a torn .pvcm. The pid suffix keeps
+    // two daemons on the same cache_dir from clobbering each other's
+    // half-written temporaries.
+    const std::string final_path = image_path(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(current_pid());
     try {
-      vm::write_module_file(image_path(key), *surviving.module, key);
+      vm::write_module_file(tmp_path, *surviving.module, key);
+      std::filesystem::rename(tmp_path, final_path);
     } catch (const Error&) {
       // Disk tier is best-effort; serving continues from memory.
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+    } catch (const std::filesystem::filesystem_error&) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
     }
   }
   return surviving;

@@ -1,0 +1,167 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace proteus::serve {
+
+#if !defined(_WIN32)
+
+namespace {
+
+/// True for the busy/draining frames a client should retry (the server
+/// stamps retry_after_ms into exactly these; serve/trap.cpp).
+bool retryable_reply(const Json& reply, int* retry_after_ms) {
+  if (reply.get("ok").as_bool(true)) return false;
+  const Json& error = reply.get("error");
+  const std::string& code = error.get("code").as_string();
+  if (code != "S001" && code != "S005") return false;
+  *retry_after_ms = static_cast<int>(error.get("retry_after_ms").as_int(0));
+  return true;
+}
+
+/// Connects to 127-style host:port with a poll-guarded timeout;
+/// -1 on failure.
+int connect_to(const std::string& host, int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  // Bound every subsequent read/write on the socket.
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<decltype(tv.tv_usec)>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+}  // namespace
+
+std::optional<Json> RetryingClient::attempt(const std::string& line,
+                                            std::string* error) {
+  const int fd = connect_to(host_, port_, policy_.io_timeout_ms);
+  if (fd < 0) {
+    *error = "connect to " + host_ + ":" + std::to_string(port_) + " failed";
+    return std::nullopt;
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      *error = "send failed";
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      *error = "connection closed before a reply";
+      return std::nullopt;
+    }
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  reply.erase(reply.find('\n'));
+  std::string parse_error;
+  std::optional<Json> parsed = parse_json(reply, &parse_error);
+  if (!parsed.has_value()) {
+    *error = "unparseable reply: " + parse_error;
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+int RetryingClient::backoff_ms(int n) {
+  std::int64_t full = policy_.base_backoff_ms;
+  for (int i = 1; i < n && full < policy_.max_backoff_ms; ++i) full *= 2;
+  full = std::clamp<std::int64_t>(full, 1, policy_.max_backoff_ms);
+  // xorshift64* jitter: deterministic in the seed, so a test run's retry
+  // schedule reproduces exactly; spread over [full/2, full] to decorrelate
+  // a thundering herd without ever waiting longer than the cap.
+  if (jitter_state_ == 0) {
+    jitter_state_ = policy_.jitter_seed != 0 ? policy_.jitter_seed : 1;
+  }
+  std::uint64_t x = jitter_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  jitter_state_ = x;
+  const std::int64_t half = full / 2;
+  return static_cast<int>(
+      half + static_cast<std::int64_t>((x * 0x2545F4914F6CDD1DULL) %
+                                       static_cast<std::uint64_t>(full - half +
+                                                                  1)));
+}
+
+std::optional<Json> RetryingClient::call(const Json& request,
+                                         std::string* error) {
+  const std::string line = request.dump() + "\n";
+  const int attempts = std::max(policy_.max_attempts, 1);
+  std::optional<Json> last_reply;
+  std::string last_error = "no attempts made";
+  for (int n = 1; n <= attempts; ++n) {
+    ++stats_.attempts;
+    std::optional<Json> reply = attempt(line, &last_error);
+    if (reply.has_value()) {
+      int retry_after_ms = 0;
+      if (!retryable_reply(*reply, &retry_after_ms)) return reply;
+      last_reply = std::move(reply);
+      if (n == attempts) break;  // budget exhausted: return the busy frame
+      ++stats_.busy_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max(retry_after_ms, backoff_ms(n))));
+      continue;
+    }
+    last_reply.reset();
+    if (n == attempts) break;
+    ++stats_.io_retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms(n)));
+  }
+  if (last_reply.has_value()) return last_reply;  // the final busy frame
+  *error = last_error + " (after " + std::to_string(attempts) + " attempts)";
+  return std::nullopt;
+}
+
+#else  // _WIN32
+
+std::optional<Json> RetryingClient::attempt(const std::string&, std::string*) {
+  return std::nullopt;
+}
+int RetryingClient::backoff_ms(int) { return 0; }
+std::optional<Json> RetryingClient::call(const Json&, std::string* error) {
+  *error = "RetryingClient is POSIX-only, like serve_tcp";
+  return std::nullopt;
+}
+
+#endif
+
+}  // namespace proteus::serve

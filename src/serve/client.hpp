@@ -1,0 +1,80 @@
+// client.hpp — a small retrying NDJSON client for proteusd.
+//
+// One RetryingClient::call sends one request object to host:port and
+// returns the reply object, retrying through exactly the failures the
+// hardened server is allowed to inflict on a well-behaved client
+// (docs/SERVING.md "Overload & lifecycle"):
+//
+//   * transport failures — refused connects, resets, EOF before a reply
+//     (what an injected sock-read/sock-stall looks like from outside) —
+//     retried after a bounded exponential backoff with deterministic
+//     jitter;
+//   * retryable S-frames — S001 (overload) and S005 (draining) — retried
+//     after max(retry_after_ms from the frame, the computed backoff).
+//
+// Everything else (a parseable non-retryable error reply, S002–S004,
+// attempts exhausted) is returned/failed to the caller: retrying a
+// request the server called too slow or too large would recur verbatim.
+//
+// This is the client the chaos tests and tools/loadgen drive; it is
+// deliberately synchronous and allocation-light, not a connection pool.
+// POSIX-only, like serve_tcp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace proteus::serve {
+
+struct RetryPolicy {
+  /// Total tries (first attempt included). <=1 means no retries.
+  int max_attempts = 5;
+  /// First retry waits ~base, then ~2*base, ~4*base, ... capped at max.
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 500;
+  /// Per-attempt bound on connect + send + reply read.
+  int io_timeout_ms = 5000;
+  /// Seed for the deterministic jitter stream (tests pin it).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+struct ClientStats {
+  std::uint64_t attempts = 0;      ///< connects tried (>=1 per call)
+  std::uint64_t busy_retries = 0;  ///< retries after an S001/S005 frame
+  std::uint64_t io_retries = 0;    ///< retries after a transport failure
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, int port, RetryPolicy policy = {})
+      : host_(std::move(host)), port_(port), policy_(policy) {}
+
+  /// Sends `request` as one NDJSON line, returns the parsed reply line.
+  /// nullopt (with *error filled) when every attempt failed. Replies
+  /// with ok=false are RETURNED, not retried — except the retryable
+  /// busy/draining frames, which retry up to the attempt budget and are
+  /// returned only when it is exhausted.
+  [[nodiscard]] std::optional<Json> call(const Json& request,
+                                         std::string* error);
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
+ private:
+  /// One connect/send/read round trip. nullopt = transport failure.
+  [[nodiscard]] std::optional<Json> attempt(const std::string& line,
+                                            std::string* error);
+  /// Backoff before retry number `n` (1-based), jittered: in
+  /// [half, full] of min(base * 2^(n-1), max).
+  [[nodiscard]] int backoff_ms(int n);
+
+  std::string host_;
+  int port_;
+  RetryPolicy policy_;
+  ClientStats stats_;
+  std::uint64_t jitter_state_ = 0;
+};
+
+}  // namespace proteus::serve

@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -13,6 +16,7 @@
 #include "analysis/diagnostic.hpp"
 #include "core/proteus.hpp"
 #include "obs/log.hpp"
+#include "rt/fault.hpp"
 #include "rt/trap.hpp"
 #include "vm/module_io.hpp"
 
@@ -29,6 +33,12 @@ namespace proteus::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
 
 std::uint64_t elapsed_ns(Clock::time_point start) {
   return static_cast<std::uint64_t>(
@@ -225,6 +235,10 @@ obs::MetricsRegistry Server::metrics() const {
               .count()));
   snapshot.set_gauge("serve.requests_inflight",
                      inflight_.load(std::memory_order_relaxed));
+  snapshot.set_gauge("serve.queue_depth",
+                     queue_depth_.load(std::memory_order_relaxed));
+  snapshot.set_gauge("serve.active_conns",
+                     active_conns_.load(std::memory_order_relaxed));
   snapshot.set_gauge("vl.arena.slots",
                      arena_slots_.load(std::memory_order_relaxed));
   snapshot.set_gauge("vl.arena.bytes_planned",
@@ -392,6 +406,7 @@ Json Server::dispatch_op(const Json& request) {
   if (op == "eval") return do_eval(request);
   if (op == "metrics") return do_metrics(request);
   if (op == "trace") return do_trace(request);
+  if (op == "health") return do_health(request);
   if (op == "shutdown") {
     request_stop();
     Json::Object reply;
@@ -405,7 +420,58 @@ Json Server::dispatch_op(const Json& request) {
                      error_value("bad_request", "",
                                  "unknown op '" + op +
                                      "' (expected ping/compile/eval/"
-                                     "metrics/trace/shutdown)"));
+                                     "metrics/trace/health/shutdown)"));
+}
+
+Json Server::do_health(const Json& req) {
+  Json::Object reply;
+  if (req.has("id")) reply["id"] = req.get("id");
+  reply["ok"] = true;
+  const char* status = "ok";
+  if (stopping()) {
+    status = "stopping";
+  } else if (draining()) {
+    status = "draining";
+  }
+  reply["status"] = status;
+  reply["draining"] = draining();
+  reply["uptime_seconds"] = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - started_)
+          .count());
+  reply["queue_depth"] = queue_depth_.load(std::memory_order_relaxed);
+  reply["active_conns"] = active_conns_.load(std::memory_order_relaxed);
+  reply["inflight"] = inflight_.load(std::memory_order_relaxed);
+  reply["cache_entries"] = static_cast<std::uint64_t>(cache_.size());
+  return Json(std::move(reply));
+}
+
+void Server::begin_drain() {
+  int expected = static_cast<int>(Lifecycle::kRunning);
+  if (!lifecycle_.compare_exchange_strong(
+          expected, static_cast<int>(Lifecycle::kDraining),
+          std::memory_order_acq_rel)) {
+    return;  // already draining or stopping
+  }
+  const std::int64_t grace_ms =
+      options_.drain_ms > 0 ? static_cast<std::int64_t>(options_.drain_ms) : 0;
+  drain_deadline_ns_.store(now_ns() + grace_ms * 1'000'000,
+                           std::memory_order_release);
+  count("serve.drain.begun");
+}
+
+int Server::drain_remaining_ms() const {
+  if (!draining()) return -1;
+  const std::int64_t deadline =
+      drain_deadline_ns_.load(std::memory_order_acquire);
+  const std::int64_t left_ns = deadline - now_ns();
+  if (left_ns <= 0) return 0;
+  return static_cast<int>(
+      std::min<std::int64_t>(left_ns / 1'000'000 + 1, INT_MAX));
+}
+
+void Server::poll_external_shutdown() {
+  const volatile std::sig_atomic_t* flag = options_.shutdown_flag;
+  if (flag != nullptr && *flag != 0) begin_drain();
 }
 
 std::optional<CacheEntry> Server::obtain(const Json& req, std::uint64_t* key,
@@ -703,8 +769,20 @@ Json Server::do_trace(const Json& req) {
 }
 
 int Server::serve_stdio(std::istream& in, std::ostream& out) {
+  // Drain on stdio is trivial: a request line already read is served to
+  // completion (the signal handler only sets a flag, so handle_line is
+  // never interrupted), then the loop stops reading and returns 0. A
+  // SIGTERM that lands while getline is blocked fails the stream with
+  // EINTR (proteusd installs its handlers without SA_RESTART), which the
+  // flag check below turns into a clean drain instead of an error.
   std::string line;
-  while (!stopping() && std::getline(in, line)) {
+  for (;;) {
+    poll_external_shutdown();
+    if (stopping() || draining()) break;
+    if (!std::getline(in, line)) {
+      poll_external_shutdown();
+      break;
+    }
     if (line.empty()) continue;
     out << handle_line(line) << "\n" << std::flush;
   }
@@ -715,12 +793,17 @@ int Server::serve_stdio(std::istream& in, std::ostream& out) {
 
 namespace {
 
-/// write(2) until done; false on a closed/broken connection.
+/// send(2) until done; false on a closed/broken connection. MSG_NOSIGNAL
+/// turns a peer that vanished mid-reply into EPIPE instead of SIGPIPE.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) return false;
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
     off += static_cast<std::size_t>(n);
   }
   return true;
@@ -756,15 +839,201 @@ int listen_on(const std::string& host, int port, int* bound_port) {
 
 }  // namespace
 
+Server::IoStatus Server::conn_read(int fd, char* buf, std::size_t cap,
+                                   int timeout_ms, std::size_t* got) {
+  *got = 0;
+  // Chaos sites (rt/fault.hpp). Both act as a peer that is gone: a
+  // sock-read fires as a reset, a sock-stall as a client that will never
+  // make progress again — reclaimed immediately rather than waiting out
+  // the timeout it would otherwise hit. Neither leaves a reply behind,
+  // exactly like the real failure it simulates; only the counter differs.
+  if (rt::detail::fire_sock_read()) {
+    count("serve.trap.S006");
+    return IoStatus::kError;
+  }
+  if (rt::detail::fire_sock_stall()) {
+    count("serve.trap.S008");
+    return IoStatus::kError;
+  }
+  for (;;) {
+    if (stopping()) return IoStatus::kStopped;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (ready == 0) return IoStatus::kTimeout;
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      *got = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoStatus::kError;
+  }
+}
+
+Server::IoStatus Server::conn_write(int fd, const std::string& data,
+                                    int timeout_ms) {
+  if (rt::detail::fire_sock_write()) {
+    count("serve.trap.S007");
+    return IoStatus::kError;
+  }
+  std::size_t off = 0;
+  Clock::time_point last_progress = Clock::now();
+  while (off < data.size()) {
+    int slice = 200;
+    if (timeout_ms > 0) {
+      const int waited = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - last_progress)
+              .count());
+      if (waited >= timeout_ms) return IoStatus::kTimeout;
+      slice = std::min(slice, timeout_ms - waited);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (ready == 0) continue;
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      last_progress = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+void Server::send_trap_frame(int fd, ServeTrap trap) {
+  count(std::string("serve.trap.") + serve_trap_code(trap));
+  Json::Object e;
+  e["kind"] = serve_trap_kind(trap);
+  e["code"] = serve_trap_code(trap);
+  e["message"] = serve_trap_reason(trap);
+  if (serve_trap_retryable(trap)) {
+    e["retry_after_ms"] =
+        static_cast<std::int64_t>(std::max(options_.retry_after_ms, 0));
+  }
+  Json::Object reply;
+  reply["ok"] = false;
+  reply["error"] = Json(std::move(e));
+  // Best-effort with a short bound: a retired connection must never hold
+  // its worker (or the accept loop) hostage just to hear why.
+  (void)conn_write(fd, Json(std::move(reply)).dump() + "\n", 250);
+}
+
+void Server::serve_connection(int fd) {
+  // During a drain an *idle* connection only gets this much more grace
+  // before being retired with S005 — the worker has queued connections
+  // to serve before the deadline. Mid-request connections may run up to
+  // the full drain deadline.
+  constexpr int kDrainIdleGraceMs = 100;
+
+  std::string buffer;
+  char chunk[4096];
+  Clock::time_point wait_start = Clock::now();
+  std::optional<Clock::time_point> drain_seen;
+  for (;;) {
+    if (stopping()) {
+      send_trap_frame(fd, ServeTrap::kDraining);
+      break;
+    }
+    const bool idle = buffer.empty();
+    const int limit = idle ? options_.idle_timeout_ms : options_.io_timeout_ms;
+    const int waited = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              wait_start)
+            .count());
+    if (limit > 0 && waited >= limit) {
+      send_trap_frame(
+          fd, idle ? ServeTrap::kIdleTimeout : ServeTrap::kIoTimeout);
+      break;
+    }
+    // Wait in short slices so lifecycle changes (drain/stop) are observed
+    // within ~200ms even under a 60s idle timeout.
+    int slice = 200;
+    if (limit > 0) slice = std::min(slice, limit - waited);
+    const int drain_left = drain_remaining_ms();
+    if (drain_left >= 0) {
+      if (!drain_seen.has_value()) drain_seen = Clock::now();
+      const int in_drain = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                *drain_seen)
+              .count());
+      if (drain_left == 0 || (idle && in_drain >= kDrainIdleGraceMs)) {
+        send_trap_frame(fd, ServeTrap::kDraining);
+        break;
+      }
+      slice = std::min(
+          slice, idle ? std::max(kDrainIdleGraceMs - in_drain, 1) : drain_left);
+    }
+
+    std::size_t got = 0;
+    const IoStatus st = conn_read(fd, chunk, sizeof chunk, slice, &got);
+    if (st == IoStatus::kTimeout) continue;  // slice over; loop re-checks
+    if (st == IoStatus::kStopped) {
+      send_trap_frame(fd, ServeTrap::kDraining);
+      break;
+    }
+    if (st != IoStatus::kOk) break;  // kClosed / kError: nothing to say
+
+    buffer.append(chunk, got);
+    bool done = false;
+    std::size_t nl = 0;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      if (options_.max_line_bytes > 0 && nl > options_.max_line_bytes) {
+        send_trap_frame(fd, ServeTrap::kLineTooLong);
+        done = true;
+        break;
+      }
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      const IoStatus ws =
+          conn_write(fd, handle_line(line) + "\n", options_.io_timeout_ms);
+      if (ws != IoStatus::kOk) {
+        // A peer that stops reading its replies is as stalled as one
+        // that stops sending; no frame can reach it, so only count.
+        if (ws == IoStatus::kTimeout) count("serve.trap.S003");
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+    // A newline-free client must not grow the buffer without bound: the
+    // check above only sees *extracted* lines, this one the residue.
+    if (options_.max_line_bytes > 0 && buffer.size() > options_.max_line_bytes) {
+      send_trap_frame(fd, ServeTrap::kLineTooLong);
+      break;
+    }
+    wait_start = Clock::now();
+  }
+  ::close(fd);
+}
+
 int Server::serve_tcp(const std::string& host, int port,
                       std::ostream& announce) {
   int bound_port = 0;
-  const int listen_fd = listen_on(host, port, &bound_port);
+  int listen_fd = listen_on(host, port, &bound_port);
   if (listen_fd < 0) return 1;
+  tcp_port_.store(bound_port, std::memory_order_release);
   announce << "proteusd listening on " << bound_port << "\n" << std::flush;
 
   // Connection queue + worker pool. Workers own one connection at a time
   // and call handle_line per request line (handle_line is thread-safe).
+  // Admission is bounded: the queue never exceeds max_queue, and beyond
+  // it (or max_conns total) a connection is shed with an S001 frame.
   std::mutex mu;
   std::condition_variable cv;
   std::deque<int> pending;
@@ -774,31 +1043,14 @@ int Server::serve_tcp(const std::string& host, int port,
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return !pending.empty() || stopping(); });
-        if (pending.empty()) return;
+        if (stopping()) return;  // leftovers are retired below with S005
         fd = pending.front();
         pending.pop_front();
       }
-      std::string buffer;
-      char chunk[4096];
-      for (;;) {
-        const ssize_t n = ::read(fd, chunk, sizeof chunk);
-        if (n <= 0) break;
-        buffer.append(chunk, static_cast<std::size_t>(n));
-        std::size_t nl = 0;
-        bool closed = false;
-        while ((nl = buffer.find('\n')) != std::string::npos) {
-          const std::string line = buffer.substr(0, nl);
-          buffer.erase(0, nl + 1);
-          if (line.empty()) continue;
-          if (!write_all(fd, handle_line(line) + "\n")) {
-            closed = true;
-            break;
-          }
-        }
-        if (closed || stopping()) break;
-      }
-      ::close(fd);
-      if (stopping()) cv.notify_all();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      active_conns_.fetch_add(1, std::memory_order_relaxed);
+      serve_connection(fd);
+      active_conns_.fetch_sub(1, std::memory_order_relaxed);
     }
   };
   const int n_workers = options_.workers > 0 ? options_.workers : 1;
@@ -807,11 +1059,36 @@ int Server::serve_tcp(const std::string& host, int port,
   for (int i = 0; i < n_workers; ++i) workers.emplace_back(worker);
 
   while (!stopping()) {
+    poll_external_shutdown();
+    if (draining()) break;
     pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);  // re-check stop 5x/second
+    const int ready = ::poll(&pfd, 1, 200);  // re-check lifecycle 5x/second
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) {
+      count("serve.accept_errors");
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: hot-looping poll+accept would spin at 100%
+        // CPU while fixing nothing. Back off and let workers close fds.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
+    const auto queued = queue_depth_.load(std::memory_order_relaxed);
+    const auto active = active_conns_.load(std::memory_order_relaxed);
+    const bool over_queue =
+        options_.max_queue > 0 &&
+        queued >= static_cast<std::uint64_t>(options_.max_queue);
+    const bool over_conns =
+        options_.max_conns > 0 &&
+        queued + active >= static_cast<std::uint64_t>(options_.max_conns);
+    if (over_queue || over_conns) {
+      count("serve.shed_total");
+      send_trap_frame(conn, ServeTrap::kOverload);
+      ::close(conn);
+      continue;
+    }
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu);
       pending.push_back(conn);
@@ -819,14 +1096,44 @@ int Server::serve_tcp(const std::string& host, int port,
     cv.notify_one();
   }
 
-  ::close(listen_fd);
+  if (draining() && !stopping()) {
+    // Stop accepting NOW (close the listener so new connections are
+    // refused, not parked in the kernel backlog), serve what is queued
+    // and in flight until the drain deadline or until everything is
+    // done, then stop.
+    ::close(listen_fd);
+    listen_fd = -1;
+    for (;;) {
+      const int left = drain_remaining_ms();
+      bool empty = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        empty = pending.empty();
+      }
+      if (left == 0 || stopping() ||
+          (empty && active_conns_.load(std::memory_order_relaxed) == 0)) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(left, 20)));
+    }
+    request_stop();
+  }
+
   cv.notify_all();
   for (std::thread& t : workers) t.join();
   {
-    // Connections still queued at shutdown are closed unserved.
+    // Connections still queued at stop are retired with an S005 frame —
+    // a deliberate refusal the client can retry elsewhere, not silence.
     std::lock_guard<std::mutex> lock(mu);
-    for (int fd : pending) ::close(fd);
+    for (int fd : pending) {
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      send_trap_frame(fd, ServeTrap::kDraining);
+      ::close(fd);
+    }
+    pending.clear();
   }
+  if (listen_fd >= 0) ::close(listen_fd);
   return 0;
 }
 
@@ -839,13 +1146,24 @@ int Server::serve_metrics_http(const std::string& host, int port,
   announce << "proteusd metrics on " << bound_port << "\n" << std::flush;
 
   // Scrapes are rare (Prometheus default: every 15s), so one thread
-  // serving one connection at a time is plenty.
+  // serving one connection at a time is plenty. The exposition stays up
+  // through a drain (probes want to watch the drain happen) and winds
+  // down at the drain deadline even when this is the only transport.
   while (!stopping()) {
+    poll_external_shutdown();
+    if (drain_remaining_ms() == 0) request_stop();
+    if (stopping()) break;
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);  // re-check stop 5x/second
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) {
+      count("serve.accept_errors");
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
 
     // Read the request head (bounded; a scraper's GET fits in one read).
     std::string head;

@@ -9,9 +9,23 @@
 //     --stdio`): what the CI smoke job and the tests drive.
 //   * serve_tcp — a listener plus a small worker pool; each worker owns
 //     one connection at a time and calls handle_line per request line.
+//     Admission is bounded (--max-queue/--max-conns: over-capacity
+//     connections are shed with a structured S001 busy frame instead of
+//     queueing without bound), every read/write is poll-guarded by the
+//     idle/I/O timeouts and the per-line byte bound (S002–S004), and the
+//     wrappers are fault-injectable (PROTEUS_FAULT=sock-read:N,...) for
+//     chaos testing. See docs/SERVING.md "Overload & lifecycle".
 //   * serve_metrics_http — an optional second listener (`--metrics-port`)
 //     answering HTTP `GET /metrics` with the OpenMetrics exposition, so
 //     a stock Prometheus can scrape the daemon.
+//
+// Lifecycle: the server runs, then either stops (request_stop — the
+// {"op":"shutdown"} path: transports wind down after the in-flight
+// request; queued connections are retired with an S005 frame) or drains
+// (begin_drain — the SIGTERM/SIGINT path: stop accepting, serve
+// everything in flight and queued for up to drain_ms, then stop).
+// {"op":"health"} reports ok|draining|stopping plus queue depth for
+// readiness probes.
 //
 // handle_line is fully thread-safe and is also the unit the concurrency
 // tests hammer directly (no sockets needed): the cache is mutex-guarded,
@@ -41,6 +55,7 @@
 //   {"op":"eval","source":...,"entry":"f(3)"}        (entry evaluation)
 //   {"op":"metrics"}   {"op":"metrics","format":"openmetrics"}
 //   {"op":"trace","request_id":"<16 hex>"?,"limit":N?}
+//   {"op":"health"}
 //   {"op":"shutdown"}
 //
 // Every request may carry an "id", echoed verbatim in the reply.
@@ -48,6 +63,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <deque>
 #include <istream>
@@ -61,6 +77,7 @@
 #include "rt/governor.hpp"
 #include "serve/cache.hpp"
 #include "serve/json.hpp"
+#include "serve/trap.hpp"
 
 namespace proteus::serve {
 
@@ -94,6 +111,36 @@ struct ServerOptions {
   /// Bounded ring of most-recent sampled request traces served by
   /// {"op":"trace"}.
   std::size_t trace_ring_capacity = 32;
+
+  // --- Overload protection & connection lifecycle (serve_tcp only; see
+  // --- docs/SERVING.md "Overload & lifecycle"). 0 disables a knob.
+
+  /// Maximum connections waiting for a worker (--max-queue). An accept
+  /// beyond this is shed with a structured S001 busy frame instead of
+  /// queueing without bound.
+  int max_queue = 64;
+  /// Maximum total accepted connections, queued + in service
+  /// (--max-conns). 0 = bounded only by max_queue + workers.
+  int max_conns = 0;
+  /// Close a connection that sends nothing for this long (S002 frame).
+  int idle_timeout_ms = 60000;
+  /// Close a connection whose read/write makes no progress for this
+  /// long mid-request (S003 frame). One stalled client can never pin a
+  /// worker past this bound.
+  int io_timeout_ms = 10000;
+  /// Per-request-line byte bound; a newline-free or oversized line gets
+  /// a structured S004 reply and the connection is closed.
+  std::size_t max_line_bytes = 8u << 20;
+  /// Grace period for begin_drain(): in-flight and queued requests are
+  /// served for up to this long before the server stops.
+  int drain_ms = 5000;
+  /// retry_after_ms stamped into S001/S005 shedding frames — the busy
+  /// client's backoff hint.
+  int retry_after_ms = 100;
+  /// Async-signal-safe external shutdown request: when non-null, the
+  /// transports poll it and call begin_drain() once it becomes nonzero
+  /// (proteusd points it at its SIGTERM/SIGINT flag).
+  const volatile std::sig_atomic_t* shutdown_flag = nullptr;
 };
 
 class Server {
@@ -132,10 +179,31 @@ class Server {
     return metrics_port_.load(std::memory_order_acquire);
   }
 
+  /// Port serve_tcp bound (for tests); -1 until bound.
+  [[nodiscard]] int tcp_port() const {
+    return tcp_port_.load(std::memory_order_acquire);
+  }
+
   /// Makes the transports wind down after the in-flight request.
-  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Queued-but-unserved connections are retired with an S005 frame.
+  void request_stop() {
+    lifecycle_.store(static_cast<int>(Lifecycle::kStopping),
+                     std::memory_order_release);
+  }
   [[nodiscard]] bool stopping() const {
-    return stop_.load(std::memory_order_relaxed);
+    return lifecycle_.load(std::memory_order_acquire) ==
+           static_cast<int>(Lifecycle::kStopping);
+  }
+
+  /// Flips a running server into draining mode: serve_tcp stops
+  /// accepting, in-flight and queued requests are served for up to
+  /// options().drain_ms, then the server stops. Idempotent; a no-op on a
+  /// server that is already draining or stopping. This is what the
+  /// SIGTERM/SIGINT handlers reach through ServerOptions::shutdown_flag.
+  void begin_drain();
+  [[nodiscard]] bool draining() const {
+    return lifecycle_.load(std::memory_order_acquire) ==
+           static_cast<int>(Lifecycle::kDraining);
   }
 
   /// Snapshot of the serve.* counters, histograms, and gauges
@@ -147,6 +215,17 @@ class Server {
   [[nodiscard]] ModuleCache& cache() { return cache_; }
 
  private:
+  enum class Lifecycle : int { kRunning = 0, kDraining = 1, kStopping = 2 };
+
+  /// Outcome of one poll-guarded socket operation.
+  enum class IoStatus : std::uint8_t {
+    kOk,       ///< progress was made
+    kTimeout,  ///< no progress within the caller's timeout
+    kClosed,   ///< orderly EOF from the peer
+    kError,    ///< reset/injected fault/unrecoverable errno
+    kStopped,  ///< the server stopped while waiting
+  };
+
   /// One sampled request's recorded spans, kept for {"op":"trace"}.
   struct RequestTrace {
     std::string request_id;
@@ -155,14 +234,47 @@ class Server {
     std::vector<obs::TraceEvent> events;
   };
 
-  /// The op switch (ping/compile/eval/metrics/trace/shutdown) without
-  /// the telemetry envelope.
+  /// The op switch (ping/compile/eval/metrics/trace/health/shutdown)
+  /// without the telemetry envelope.
   [[nodiscard]] Json dispatch_op(const Json& request);
 
   [[nodiscard]] Json do_compile(const Json& req);
   [[nodiscard]] Json do_eval(const Json& req);
   [[nodiscard]] Json do_metrics(const Json& req);
   [[nodiscard]] Json do_trace(const Json& req);
+  [[nodiscard]] Json do_health(const Json& req);
+
+  [[nodiscard]] bool accepting() const {
+    return lifecycle_.load(std::memory_order_acquire) ==
+           static_cast<int>(Lifecycle::kRunning);
+  }
+  /// Milliseconds left before the drain deadline: -1 when not draining,
+  /// 0 once the deadline has passed.
+  [[nodiscard]] int drain_remaining_ms() const;
+  /// Observes options_.shutdown_flag (the signal handlers' flag) and
+  /// begins draining when it is set.
+  void poll_external_shutdown();
+
+#if !defined(_WIN32)
+  /// Serves one accepted TCP connection until EOF, timeout, over-limit
+  /// input, fault, or lifecycle end. Closes the fd.
+  void serve_connection(int fd);
+  /// Poll-guarded single read: waits readable for up to timeout_ms
+  /// (<0 = unbounded; serve_connection passes <=200ms slices so the
+  /// lifecycle is re-checked promptly), then reads once. Injection point
+  /// for sock-read (S006, acts as a reset) and sock-stall (S008, acts as
+  /// a peer that will never progress — reclaimed without a reply).
+  [[nodiscard]] IoStatus conn_read(int fd, char* buf, std::size_t cap,
+                                   int timeout_ms, std::size_t* got);
+  /// Poll-guarded full write of `data` with a per-progress timeout.
+  /// Injection point for sock-write (acts as kError).
+  [[nodiscard]] IoStatus conn_write(int fd, const std::string& data,
+                                    int timeout_ms);
+  /// Best-effort structured error frame for a connection being refused
+  /// or retired (S001/S002/...): counted as serve.trap.S00x, written
+  /// with a short timeout, never blocks the caller for long.
+  void send_trap_frame(int fd, ServeTrap trap);
+#endif
 
   /// Compiles (or cache-hits) the program of `req`; on failure fills
   /// `*error` with a structured error object and returns nullopt.
@@ -198,7 +310,11 @@ class Server {
   obs::Histogram* h_compile_us_ = nullptr;
   obs::Histogram* h_eval_hit_us_ = nullptr;
   obs::Histogram* h_eval_miss_us_ = nullptr;
-  std::atomic<bool> stop_{false};
+  std::atomic<int> lifecycle_{static_cast<int>(Lifecycle::kRunning)};
+  /// steady_clock epoch-ns of the drain deadline; 0 = not draining.
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> active_conns_{0};
   std::atomic<std::uint64_t> seq_{0};
   // Plan gauges from the most recent eval (point-in-time, like inflight).
   std::atomic<std::uint64_t> arena_slots_{0};
@@ -209,6 +325,7 @@ class Server {
   mutable std::mutex trace_mu_;
   std::deque<RequestTrace> trace_ring_;
   std::atomic<int> metrics_port_{-1};
+  std::atomic<int> tcp_port_{-1};
 };
 
 }  // namespace proteus::serve

@@ -1,0 +1,72 @@
+#include "serve/trap.hpp"
+
+namespace proteus::serve {
+
+const char* serve_trap_code(ServeTrap t) noexcept {
+  switch (t) {
+    case ServeTrap::kOverload:
+      return "S001";
+    case ServeTrap::kIdleTimeout:
+      return "S002";
+    case ServeTrap::kIoTimeout:
+      return "S003";
+    case ServeTrap::kLineTooLong:
+      return "S004";
+    case ServeTrap::kDraining:
+      return "S005";
+    case ServeTrap::kInjectRead:
+      return "S006";
+    case ServeTrap::kInjectWrite:
+      return "S007";
+    case ServeTrap::kInjectStall:
+      return "S008";
+  }
+  return "S???";
+}
+
+const char* serve_trap_reason(ServeTrap t) noexcept {
+  switch (t) {
+    case ServeTrap::kOverload:
+      return "server over capacity: connection queue full";
+    case ServeTrap::kIdleTimeout:
+      return "connection idle past the idle timeout";
+    case ServeTrap::kIoTimeout:
+      return "connection I/O made no progress within the I/O timeout";
+    case ServeTrap::kLineTooLong:
+      return "request line exceeded the per-line byte bound";
+    case ServeTrap::kDraining:
+      return "server draining: connection retired";
+    case ServeTrap::kInjectRead:
+      return "injected socket-read fault fired";
+    case ServeTrap::kInjectWrite:
+      return "injected socket-write fault fired";
+    case ServeTrap::kInjectStall:
+      return "injected socket stall fired";
+  }
+  return "unknown serve trap";
+}
+
+const char* serve_trap_kind(ServeTrap t) noexcept {
+  switch (t) {
+    case ServeTrap::kOverload:
+      return "overload";
+    case ServeTrap::kIdleTimeout:
+    case ServeTrap::kIoTimeout:
+      return "timeout";
+    case ServeTrap::kLineTooLong:
+      return "bad_request";
+    case ServeTrap::kDraining:
+      return "draining";
+    case ServeTrap::kInjectRead:
+    case ServeTrap::kInjectWrite:
+    case ServeTrap::kInjectStall:
+      return "io";
+  }
+  return "io";
+}
+
+bool serve_trap_retryable(ServeTrap t) noexcept {
+  return t == ServeTrap::kOverload || t == ServeTrap::kDraining;
+}
+
+}  // namespace proteus::serve

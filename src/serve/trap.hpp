@@ -1,0 +1,50 @@
+// trap.hpp — the serve-layer lifecycle-trap taxonomy of proteusd
+// (docs/SERVING.md "Overload & lifecycle").
+//
+// The runtime governor's T001–T008 codes (rt/trap.hpp) classify what can
+// go wrong *inside* an evaluation; the S001–S008 codes here classify what
+// can go wrong *around* one — at the connection and admission layer the
+// paper's flattening machinery never has to think about. Unlike a
+// RuntimeTrap these are not exceptions: an S-code is either rendered into
+// a structured {"ok":false,"error":{...}} frame written to the offending
+// connection before it is closed, or (for simulated peer failures) only
+// counted, exactly as a real reset would leave no reply behind. Every
+// occurrence is counted as serve.trap.S00x in the daemon's registry,
+// mirroring the serve.trap.T00x rows of budget traps.
+#pragma once
+
+#include <cstdint>
+
+namespace proteus::serve {
+
+/// Stable serve-trap codes. Values are the numeric part of the "S00x"
+/// code and must never be renumbered (tests, CI, and the docs key off
+/// them, like the T00x table).
+enum class ServeTrap : std::uint8_t {
+  kOverload = 1,     ///< S001: admission refused — connection queue full
+  kIdleTimeout = 2,  ///< S002: connection idle past the idle timeout
+  kIoTimeout = 3,    ///< S003: read/write made no progress past the I/O timeout
+  kLineTooLong = 4,  ///< S004: request line exceeded the per-line byte bound
+  kDraining = 5,     ///< S005: server draining — connection retired unserved
+  kInjectRead = 6,   ///< S006: injected socket-read fault (simulated reset)
+  kInjectWrite = 7,  ///< S007: injected socket-write fault (broken pipe)
+  kInjectStall = 8,  ///< S008: injected socket stall (simulated slowloris)
+};
+
+/// "S001" ... "S008".
+[[nodiscard]] const char* serve_trap_code(ServeTrap t) noexcept;
+
+/// Human-readable one-line reason for the code.
+[[nodiscard]] const char* serve_trap_reason(ServeTrap t) noexcept;
+
+/// The "kind" field of the error frame carrying this code
+/// ("overload", "timeout", "bad_request", "draining", "io").
+[[nodiscard]] const char* serve_trap_kind(ServeTrap t) noexcept;
+
+/// True for traps a well-behaved client should retry after a backoff
+/// (the busy/draining shedding frames, which carry retry_after_ms).
+/// Timeouts and over-limit input are the client's own fault and would
+/// recur verbatim.
+[[nodiscard]] bool serve_trap_retryable(ServeTrap t) noexcept;
+
+}  // namespace proteus::serve

@@ -29,6 +29,43 @@ TEST_F(FaultTest, ParseFaultPlan) {
   EXPECT_FALSE(parse_fault_plan("").armed());
 }
 
+TEST_F(FaultTest, ParseSockSites) {
+  const FaultPlan p =
+      parse_fault_plan("sock-read:4,sock-write:2,sock-stall:1");
+  EXPECT_EQ(p.sock_read, 4u);
+  EXPECT_EQ(p.sock_write, 2u);
+  EXPECT_EQ(p.sock_stall, 1u);
+  EXPECT_EQ(p.alloc, 0u);
+  EXPECT_TRUE(p.armed());
+
+  // Governor and socket sites compose in one spec.
+  const FaultPlan mixed = parse_fault_plan("alloc:1,sock-read:3");
+  EXPECT_EQ(mixed.alloc, 1u);
+  EXPECT_EQ(mixed.sock_read, 3u);
+}
+
+TEST_F(FaultTest, SockSitesAreOneShotCountdowns) {
+  FaultPlan p;
+  p.sock_read = 2;
+  p.sock_write = 1;
+  arm_faults(p);
+  EXPECT_TRUE(faults_armed());
+
+  // sock-read fires on the 2nd guarded read, then disarms itself.
+  EXPECT_FALSE(detail::fire_sock_read());
+  EXPECT_TRUE(detail::fire_sock_read());
+  EXPECT_FALSE(detail::fire_sock_read());
+  EXPECT_EQ(pending_faults().sock_read, 0u);
+
+  // sock-write is independent and also one-shot.
+  EXPECT_TRUE(detail::fire_sock_write());
+  EXPECT_FALSE(detail::fire_sock_write());
+  EXPECT_FALSE(faults_armed());
+
+  // A never-armed site never fires.
+  EXPECT_FALSE(detail::fire_sock_stall());
+}
+
 TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
   EXPECT_THROW((void)parse_fault_plan("bogus:1"), Error);
   EXPECT_THROW((void)parse_fault_plan("alloc"), Error);

@@ -1,0 +1,217 @@
+// loadgen — a small closed-loop load generator for proteusd
+// (docs/SERVING.md "Overload & lifecycle").
+//
+// Hammers a running daemon with concurrent eval requests through the
+// retrying client (serve/client.hpp), verifying every successful reply
+// bit-for-bit against the locally computed expected result. This is the
+// chaos/overload smoke the CI job drives: under PROTEUS_FAULT socket
+// injection and under shedding, the daemon must produce zero wrong
+// answers — shed requests come back as structured S001/S005 busy frames
+// (counted, not failures), injected resets are absorbed by the client's
+// backoff-and-retry.
+//
+//   loadgen --port N [--host H] [--threads T] [--requests R]
+//           [--max-attempts A] [--base-backoff-ms B] [--io-timeout-ms MS]
+//
+// Prints a one-line JSON summary and exits 0 iff there were no wrong
+// answers and no requests whose every attempt failed at the transport.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: loadgen --port N [options]\n"
+        "  --port N             TCP port of a running proteusd (required)\n"
+        "  --host ADDR          daemon address (default 127.0.0.1)\n"
+        "  --threads N          concurrent client threads (default 4)\n"
+        "  --requests N         requests per thread (default 25)\n"
+        "  --max-attempts N     tries per request incl. the first\n"
+        "                       (default 6)\n"
+        "  --base-backoff-ms N  first-retry backoff (default 10)\n"
+        "  --io-timeout-ms N    per-attempt I/O bound (default 5000)\n"
+        "  --help               show this help\n";
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+struct ThreadTally {
+  std::uint64_t ok = 0;          ///< correct result received
+  std::uint64_t wrong = 0;       ///< a reply that should not exist
+  std::uint64_t shed_final = 0;  ///< retry budget ended on a busy frame
+  std::uint64_t failed = 0;      ///< every attempt failed at the transport
+  proteus::serve::ClientStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int threads = 4;
+  int requests = 25;
+  proteus::serve::RetryPolicy policy;
+  policy.max_attempts = 6;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "loadgen: " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::uint64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--port") {
+      if (!parse_u64(need_value(i), &n) || n > 65535) {
+        std::cerr << "loadgen: --port needs 0..65535\n";
+        return 2;
+      }
+      port = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--host") {
+      host = need_value(i);
+      ++i;
+    } else if (arg == "--threads") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 256) {
+        std::cerr << "loadgen: --threads needs 1..256\n";
+        return 2;
+      }
+      threads = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--requests") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 1000000) {
+        std::cerr << "loadgen: --requests needs 1..1000000\n";
+        return 2;
+      }
+      requests = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--max-attempts") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 100) {
+        std::cerr << "loadgen: --max-attempts needs 1..100\n";
+        return 2;
+      }
+      policy.max_attempts = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--base-backoff-ms") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 60000) {
+        std::cerr << "loadgen: --base-backoff-ms needs 1..60000\n";
+        return 2;
+      }
+      policy.base_backoff_ms = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--io-timeout-ms") {
+      if (!parse_u64(need_value(i), &n) || n == 0 || n > 600000) {
+        std::cerr << "loadgen: --io-timeout-ms needs 1..600000\n";
+        return 2;
+      }
+      policy.io_timeout_ms = static_cast<int>(n);
+      ++i;
+    } else {
+      std::cerr << "loadgen: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (port < 0) {
+    std::cerr << "loadgen: --port is required\n";
+    return 2;
+  }
+
+  const std::string source = "fun sq(n: int): int = n*n";
+  std::vector<ThreadTally> tallies(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      proteus::serve::RetryPolicy my_policy = policy;
+      // Decorrelate the threads' retry schedules.
+      my_policy.jitter_seed =
+          policy.jitter_seed + static_cast<std::uint64_t>(t) * 0x9E37u + 1;
+      proteus::serve::RetryingClient client(host, port, my_policy);
+      ThreadTally& tally = tallies[static_cast<std::size_t>(t)];
+      for (int r = 0; r < requests; ++r) {
+        const int k = (t * requests + r) % 97;
+        proteus::serve::Json::Object req;
+        req["op"] = "eval";
+        req["source"] = source;
+        req["fun"] = "sq";
+        proteus::serve::Json::Array args;
+        args.emplace_back(std::to_string(k));
+        req["args"] = std::move(args);
+
+        std::string error;
+        std::optional<proteus::serve::Json> reply =
+            client.call(proteus::serve::Json(std::move(req)), &error);
+        if (!reply.has_value()) {
+          ++tally.failed;
+          continue;
+        }
+        if (!reply->get("ok").as_bool(false)) {
+          const std::string& code =
+              reply->get("error").get("code").as_string();
+          if (code == "S001" || code == "S005") {
+            ++tally.shed_final;  // shed is correct behaviour, not a bug
+          } else {
+            ++tally.wrong;
+          }
+          continue;
+        }
+        if (reply->get("result").as_string() == std::to_string(k * k)) {
+          ++tally.ok;
+        } else {
+          ++tally.wrong;
+        }
+      }
+      tally.stats = client.stats();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  ThreadTally total;
+  for (const ThreadTally& t : tallies) {
+    total.ok += t.ok;
+    total.wrong += t.wrong;
+    total.shed_final += t.shed_final;
+    total.failed += t.failed;
+    total.stats.attempts += t.stats.attempts;
+    total.stats.busy_retries += t.stats.busy_retries;
+    total.stats.io_retries += t.stats.io_retries;
+  }
+
+  proteus::serve::Json::Object summary;
+  summary["requests"] =
+      static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(requests);
+  summary["ok"] = total.ok;
+  summary["wrong"] = total.wrong;
+  summary["shed_final"] = total.shed_final;
+  summary["failed"] = total.failed;
+  summary["attempts"] = total.stats.attempts;
+  summary["busy_retries"] = total.stats.busy_retries;
+  summary["io_retries"] = total.stats.io_retries;
+  std::cout << proteus::serve::Json(std::move(summary)).dump() << "\n";
+
+  return (total.wrong == 0 && total.failed == 0) ? 0 : 1;
+}

@@ -20,7 +20,16 @@
 // --metrics-port starts a second listener answering HTTP GET /metrics
 // with the OpenMetrics exposition for Prometheus.
 //
-// Exit codes: 0 clean shutdown, 1 transport failure, 2 usage error.
+// Overload & lifecycle (docs/SERVING.md): admission is bounded
+// (--max-queue/--max-conns shed with S001 busy frames), every connection
+// is deadline-guarded (--idle-timeout-ms/--io-timeout-ms/
+// --max-line-bytes), and SIGTERM/SIGINT drain gracefully: stop
+// accepting, serve in-flight and queued requests for up to --drain-ms,
+// then exit 0. {"op":"health"} reports ok|draining for readiness probes.
+//
+// Exit codes: 0 clean shutdown (including a signal-driven drain),
+// 1 transport failure, 2 usage error.
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -28,10 +37,38 @@
 #include <string_view>
 #include <thread>
 
+#include "core/proteus.hpp"
 #include "obs/log.hpp"
+#include "rt/fault.hpp"
 #include "serve/server.hpp"
 
 namespace {
+
+// Signal handling: the handlers only set this flag (the only thing
+// async-signal-safe to do); the transports poll it through
+// ServerOptions::shutdown_flag and run the drain on their own threads.
+// Installed WITHOUT SA_RESTART so a SIGTERM interrupts a blocked
+// stdin read with EINTR instead of silently restarting it — that is
+// what lets --stdio drain promptly.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+#if !defined(_WIN32)
+extern "C" void on_shutdown_signal(int) { g_shutdown_requested = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must see EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+#else
+void install_signal_handlers() {
+  std::signal(SIGTERM, [](int) { g_shutdown_requested = 1; });
+  std::signal(SIGINT, [](int) { g_shutdown_requested = 1; });
+}
+#endif
 
 void usage(std::ostream& os) {
   os << "usage: proteusd [--stdio | --port N] [options]\n"
@@ -84,6 +121,29 @@ void usage(std::ostream& os) {
         "  --max-budget-depth N   call/nesting depth (T003)\n"
         "  --max-budget-deadline-ms N  wall-clock per request (T004)\n"
         "\n"
+        "overload protection & lifecycle (docs/SERVING.md; TCP transport;\n"
+        "0 disables a knob):\n"
+        "  --max-queue N          connections waiting for a worker before\n"
+        "                         new ones are shed with an S001 busy frame\n"
+        "                         (default 64)\n"
+        "  --max-conns N          total accepted connections, queued plus\n"
+        "                         in service (default 0 = unbounded)\n"
+        "  --idle-timeout-ms N    close a connection that sends nothing for\n"
+        "                         this long, S002 (default 60000)\n"
+        "  --io-timeout-ms N      close a connection whose mid-request I/O\n"
+        "                         stalls this long, S003 (default 10000)\n"
+        "  --max-line-bytes N     per-request-line byte bound, S004\n"
+        "                         (default 8388608)\n"
+        "  --drain-ms N           SIGTERM/SIGINT grace: serve in-flight and\n"
+        "                         queued requests for up to N ms, then exit\n"
+        "                         0 (default 5000)\n"
+        "  --retry-after-ms N     backoff hint stamped into S001/S005\n"
+        "                         shedding frames (default 100)\n"
+        "  --inject SPEC          deterministic fault injection at the\n"
+        "                         socket wrappers, e.g. sock-read:3 (S006),\n"
+        "                         sock-write:2 (S007), sock-stall:1 (S008);\n"
+        "                         also via PROTEUS_FAULT\n"
+        "\n"
         "  --help                 show this help\n"
         "\n"
         "protocol (one JSON object per line; docs/SERVING.md has the full\n"
@@ -93,7 +153,8 @@ void usage(std::ostream& os) {
         "  {\"op\":\"eval\",\"source\":\"...\",\"fun\":\"f\",\"args\":[\"7\"],\n"
         "   \"budget\":{\"steps\":100000}}\n"
         "  {\"op\":\"metrics\"}   {\"op\":\"metrics\",\"format\":\"openmetrics\"}\n"
-        "  {\"op\":\"trace\",\"limit\":5}   {\"op\":\"shutdown\"}\n";
+        "  {\"op\":\"trace\",\"limit\":5}   {\"op\":\"health\"}   "
+        "{\"op\":\"shutdown\"}\n";
 }
 
 bool parse_u64(std::string_view s, std::uint64_t* out) {
@@ -240,6 +301,64 @@ int main(int argc, char** argv) {
       }
       options.max_budget.deadline_ms = n;
       ++i;
+    } else if (arg == "--max-queue") {
+      if (!parse_u64(need_value(i), &n) || n > 1000000) {
+        std::cerr << "proteusd: --max-queue needs 0..1000000\n";
+        return 2;
+      }
+      options.max_queue = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--max-conns") {
+      if (!parse_u64(need_value(i), &n) || n > 1000000) {
+        std::cerr << "proteusd: --max-conns needs 0..1000000\n";
+        return 2;
+      }
+      options.max_conns = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--idle-timeout-ms") {
+      if (!parse_u64(need_value(i), &n) || n > 86400000) {
+        std::cerr << "proteusd: --idle-timeout-ms needs 0..86400000\n";
+        return 2;
+      }
+      options.idle_timeout_ms = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--io-timeout-ms") {
+      if (!parse_u64(need_value(i), &n) || n > 86400000) {
+        std::cerr << "proteusd: --io-timeout-ms needs 0..86400000\n";
+        return 2;
+      }
+      options.io_timeout_ms = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--max-line-bytes") {
+      if (!parse_u64(need_value(i), &n)) {
+        std::cerr << "proteusd: --max-line-bytes needs a number\n";
+        return 2;
+      }
+      options.max_line_bytes = static_cast<std::size_t>(n);
+      ++i;
+    } else if (arg == "--drain-ms") {
+      if (!parse_u64(need_value(i), &n) || n > 86400000) {
+        std::cerr << "proteusd: --drain-ms needs 0..86400000\n";
+        return 2;
+      }
+      options.drain_ms = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--retry-after-ms") {
+      if (!parse_u64(need_value(i), &n) || n > 86400000) {
+        std::cerr << "proteusd: --retry-after-ms needs 0..86400000\n";
+        return 2;
+      }
+      options.retry_after_ms = static_cast<int>(n);
+      ++i;
+    } else if (arg == "--inject") {
+      try {
+        proteus::rt::arm_faults(
+            proteus::rt::parse_fault_plan(need_value(i)));
+      } catch (const proteus::Error& e) {
+        std::cerr << "proteusd: " << e.what() << "\n";
+        return 2;
+      }
+      ++i;
     } else {
       std::cerr << "proteusd: unknown option '" << arg << "'\n";
       usage(std::cerr);
@@ -256,6 +375,9 @@ int main(int argc, char** argv) {
   proteus::obs::logger().configure(
       options.telemetry ? log_level : proteus::obs::LogLevel::kOff, log_json,
       &std::cerr);
+
+  install_signal_handlers();
+  options.shutdown_flag = &g_shutdown_requested;
 
   proteus::serve::Server server(options);
   if (!options.cache_dir.empty()) {
